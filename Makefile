@@ -1,0 +1,47 @@
+# EEWA reproduction — convenience targets. Everything is plain `go`.
+
+GO ?= go
+
+.PHONY: all build vet test race bench cover experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full bench harness: regenerates every figure/table as bench metrics.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# Text tables for every experiment (Figs. 1/6/7/8/9, Table III,
+# memory-bound extension, ablations).
+experiments:
+	$(GO) run ./cmd/eewa-bench -exp all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/energysweep
+	$(GO) run ./examples/asymmetric
+	$(GO) run ./examples/memorybound
+	$(GO) run ./examples/liveruntime -workers 4 -batches 3
+
+# Reproduction artifacts referenced from EXPERIMENTS.md.
+artifacts:
+	$(GO) test ./... 2>&1 | tee test_output.txt
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+clean:
+	$(GO) clean ./...
+	rm -f test_output.txt bench_output.txt

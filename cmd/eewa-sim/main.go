@@ -1,0 +1,136 @@
+// Command eewa-sim runs one scheduling policy on one workload and
+// prints the result, optionally with an ASCII Gantt chart of the
+// schedule and a CSV span dump.
+//
+// Usage:
+//
+//	eewa-sim -bench sha1 -policy eewa [-cores 16] [-seed 1] [-gantt] [-csv out.csv]
+//	eewa-sim -bench all -policy all        # summary matrix
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/machine"
+	"repro/internal/profile"
+	"repro/internal/sched"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("eewa-sim: ")
+	benchName := flag.String("bench", "sha1", "benchmark: bwc|bzip2|dmc|je|lzw|md5|sha1|membound|all")
+	policyName := flag.String("policy", "eewa", "policy: cilk|cilk-d|eewa|all")
+	cores := flag.Int("cores", 16, "number of cores")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	gantt := flag.Bool("gantt", false, "print an ASCII Gantt chart of the schedule")
+	csvPath := flag.String("csv", "", "write per-task spans to this CSV file")
+	profileOut := flag.String("profile-out", "", "save the run's workload profile (JSON) for offline reuse")
+	profileIn := flag.String("profile-in", "", "load an offline workload profile (JSON); EEWA configures before batch 1")
+	flag.Parse()
+
+	var offline *profile.Snapshot
+	if *profileIn != "" {
+		f, err := os.Open(*profileIn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		offline, err = profile.DecodeSnapshot(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	var benches []workloads.Benchmark
+	if *benchName == "all" {
+		benches = workloads.All()
+	} else if *benchName == "membound" {
+		benches = []workloads.Benchmark{workloads.MemoryBound()}
+	} else {
+		b, err := workloads.ByName(*benchName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		benches = []workloads.Benchmark{b}
+	}
+
+	var policies []string
+	if *policyName == "all" {
+		policies = []string{"cilk", "cilk-d", "eewa"}
+	} else {
+		policies = []string{*policyName}
+	}
+
+	cfg := machine.Generic(*cores)
+	for _, b := range benches {
+		w := b.Workload(*seed)
+		for _, pname := range policies {
+			var p sched.Policy
+			switch pname {
+			case "cilk":
+				p = sched.NewCilk()
+			case "cilk-d":
+				p = sched.NewCilkD(len(cfg.Freqs))
+			case "eewa":
+				e := sched.NewEEWA()
+				e.Offline = offline
+				p = e
+			default:
+				log.Fatalf("unknown policy %q", pname)
+			}
+			params := sched.DefaultParams()
+			params.Seed = *seed
+			var rec *trace.Recorder
+			if *gantt || *csvPath != "" {
+				rec = &trace.Recorder{}
+				params.Recorder = rec
+			}
+			res, err := sched.Run(cfg, w, p, params)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(res)
+			fmt.Printf("  batches: T=%.4fs, census per batch: %v\n", res.BatchTimes[0], res.BatchCensus)
+			fmt.Printf("  busy/spin/halt core-seconds: %.3f/%.3f/%.3f, DVFS transitions: %d\n",
+				res.BusyTime, res.SpinTime, res.HaltTime, res.DVFSTransitions)
+			if res.MemoryBound {
+				fmt.Println("  (classified memory-bound: EEWA fell back to classic stealing)")
+			}
+			if rec != nil && *gantt {
+				fmt.Print(rec.Gantt(100))
+			}
+			if *profileOut != "" && res.Profile != nil {
+				f, err := os.Create(*profileOut)
+				if err != nil {
+					log.Fatal(err)
+				}
+				if err := res.Profile.Encode(f); err != nil {
+					log.Fatal(err)
+				}
+				if err := f.Close(); err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("  profile written to %s\n", *profileOut)
+			}
+			if rec != nil && *csvPath != "" {
+				f, err := os.Create(*csvPath)
+				if err != nil {
+					log.Fatal(err)
+				}
+				if err := rec.CSV(f); err != nil {
+					log.Fatal(err)
+				}
+				if err := f.Close(); err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("  spans written to %s\n", *csvPath)
+			}
+		}
+	}
+}

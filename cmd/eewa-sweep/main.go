@@ -1,0 +1,81 @@
+// Command eewa-sweep explores the design space: any combination of
+// benchmarks, policies, core counts and seeds, as a text table or CSV.
+//
+// Usage:
+//
+//	eewa-sweep                                   # full default grid
+//	eewa-sweep -bench sha1,md5 -cores 4,8,16,32 -policies cilk,eewa
+//	eewa-sweep -csv out.csv -seeds 5
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/sweep"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("eewa-sweep: ")
+	benches := flag.String("bench", "", "comma-separated benchmarks (default: all seven)")
+	policies := flag.String("policies", "", "comma-separated policies: cilk,cilk-d,eewa (default: all)")
+	cores := flag.String("cores", "", "comma-separated core counts (default: 16)")
+	nseeds := flag.Int("seeds", 3, "number of seeds per cell")
+	csvPath := flag.String("csv", "", "write CSV to this file instead of a table to stdout")
+	flag.Parse()
+
+	grid := sweep.Grid{}
+	if *benches != "" {
+		grid.Benchmarks = splitList(*benches)
+	}
+	if *policies != "" {
+		grid.Policies = splitList(*policies)
+	}
+	if *cores != "" {
+		for _, c := range splitList(*cores) {
+			n, err := strconv.Atoi(c)
+			if err != nil || n <= 0 {
+				log.Fatalf("bad core count %q", c)
+			}
+			grid.Cores = append(grid.Cores, n)
+		}
+	}
+	for i := 0; i < *nseeds; i++ {
+		grid.Seeds = append(grid.Seeds, uint64(i+1))
+	}
+
+	records, err := sweep.Run(grid)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := sweep.WriteCSV(f, records); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %d records to %s", len(records), *csvPath)
+		return
+	}
+	if err := sweep.WriteTable(os.Stdout, records); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

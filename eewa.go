@@ -1,0 +1,195 @@
+// Package eewa reproduces "EEWA: Energy-Efficient Workload-Aware Task
+// Scheduling in Multi-core Architectures" (Chen, Zheng, Guo, Huang —
+// IPDPS 2014) as a self-contained Go library.
+//
+// EEWA couples two mechanisms for batch-structured parallel programs
+// on DVFS-capable multi-cores:
+//
+//   - a workload-aware frequency adjuster that profiles task classes
+//     online, builds the Core-Count (CC) table and backtracks
+//     (Algorithm 1) to a per-core frequency configuration that finishes
+//     the next batch in the same time at lower power, and
+//   - a preference-based task-stealing scheduler (rob-the-weaker-first)
+//     that keeps the resulting c-groups load-balanced.
+//
+// The package is a facade over the internal implementation:
+//
+//   - Simulate runs a workload on the deterministic discrete-event
+//     machine model (internal/sched + internal/machine) under any of
+//     the paper's four policies;
+//   - NewRuntime executes real payloads on goroutines with emulated
+//     DVFS (internal/rt);
+//   - Benchmarks exposes the paper's Table II workloads, and the
+//     experiment drivers in internal/experiments regenerate every
+//     table and figure (see cmd/eewa-bench).
+//
+// Quick start:
+//
+//	cfg := eewa.Opteron16()
+//	w := eewa.MustBenchmark("sha1").Workload(1)
+//	cilk, _ := eewa.Simulate(cfg, w, eewa.PolicyCilk)
+//	ee, _ := eewa.Simulate(cfg, w, eewa.PolicyEEWA)
+//	fmt.Printf("energy saving: %.1f%%\n", 100*(1-ee.Energy/cilk.Energy))
+package eewa
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/rt"
+	"repro/internal/sched"
+	"repro/internal/task"
+	"repro/internal/workloads"
+)
+
+// Re-exported types. The facade aliases rather than wraps so that
+// advanced callers can drop to the internal packages without
+// conversion.
+type (
+	// MachineConfig describes the simulated hardware: cores, frequency
+	// ladder, power model, package topology.
+	MachineConfig = machine.Config
+	// FreqLadder is the descending list of core frequencies (GHz).
+	FreqLadder = machine.FreqLadder
+	// Workload is a named sequence of task batches.
+	Workload = task.Workload
+	// ClassSpec declares one task class of a synthetic workload.
+	ClassSpec = task.ClassSpec
+	// Task is one simulated unit of work.
+	Task = task.Task
+	// Result is a simulation outcome (makespan, energy, censuses …).
+	Result = sched.Result
+	// Params tunes the simulation engine.
+	Params = sched.Params
+	// Benchmark is one paper benchmark (Table II).
+	Benchmark = workloads.Benchmark
+	// LiveConfig configures the goroutine runtime.
+	LiveConfig = rt.Config
+	// LiveTask is a real payload for the goroutine runtime.
+	LiveTask = rt.Task
+	// LiveRuntime executes real payloads with emulated DVFS.
+	LiveRuntime = rt.Runtime
+	// LiveBatchStats summarizes one live batch.
+	LiveBatchStats = rt.BatchStats
+)
+
+// Policy names accepted by Simulate.
+const (
+	// PolicyCilk is classic random work stealing at full frequency.
+	PolicyCilk = "cilk"
+	// PolicyCilkD is Cilk with idle cores down-clocked to the lowest
+	// frequency.
+	PolicyCilkD = "cilk-d"
+	// PolicyEEWA is the paper's full scheduler.
+	PolicyEEWA = "eewa"
+)
+
+// Opteron16 returns the paper's evaluation platform: 16 cores in four
+// packages, 2.5/1.8/1.3/0.8 GHz per-core DVFS.
+func Opteron16() MachineConfig { return machine.Opteron16() }
+
+// GenericMachine returns an Opteron-like machine with an arbitrary
+// core count (the Fig. 9 scalability sweep uses 4–16).
+func GenericMachine(cores int) MachineConfig { return machine.Generic(cores) }
+
+// DefaultParams returns the engine parameters every experiment uses.
+func DefaultParams() Params { return sched.DefaultParams() }
+
+// Benchmarks returns the seven paper benchmarks of Table II.
+func Benchmarks() []Benchmark { return workloads.All() }
+
+// BenchmarkByName looks up one of the Table II benchmarks by name
+// (bwc, bzip2, dmc, je, lzw, md5, sha1).
+func BenchmarkByName(name string) (Benchmark, error) { return workloads.ByName(name) }
+
+// MustBenchmark is BenchmarkByName for known-good names; it panics on
+// error.
+func MustBenchmark(name string) Benchmark {
+	b, err := workloads.ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// GenerateWorkload builds a deterministic synthetic workload.
+func GenerateWorkload(name string, batches int, specs []ClassSpec, seed uint64) (*Workload, error) {
+	return task.Generate(name, batches, specs, seed)
+}
+
+// NewPolicy constructs a scheduling policy by name for cfg.
+func NewPolicy(name string, cfg MachineConfig) (sched.Policy, error) {
+	switch name {
+	case PolicyCilk:
+		return sched.NewCilk(), nil
+	case PolicyCilkD:
+		return sched.NewCilkD(len(cfg.Freqs)), nil
+	case PolicyEEWA:
+		return sched.NewEEWA(), nil
+	default:
+		return nil, fmt.Errorf("eewa: unknown policy %q (want %s, %s or %s)", name, PolicyCilk, PolicyCilkD, PolicyEEWA)
+	}
+}
+
+// Simulate runs workload w on machine cfg under the named policy with
+// default parameters.
+func Simulate(cfg MachineConfig, w *Workload, policy string) (*Result, error) {
+	return SimulateWithParams(cfg, w, policy, sched.DefaultParams())
+}
+
+// SimulateWithParams is Simulate with explicit engine parameters.
+func SimulateWithParams(cfg MachineConfig, w *Workload, policy string, params Params) (*Result, error) {
+	p, err := NewPolicy(policy, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return sched.Run(cfg, w, p, params)
+}
+
+// Comparison is the outcome of running one workload under the three
+// Fig. 6 policies.
+type Comparison struct {
+	Cilk, CilkD, EEWA *Result
+}
+
+// EnergySaving returns EEWA's whole-machine energy saving versus Cilk
+// as a fraction (0.298 = 29.8 %).
+func (c *Comparison) EnergySaving() float64 {
+	return 1 - c.EEWA.Energy/c.Cilk.Energy
+}
+
+// Slowdown returns EEWA's makespan relative to Cilk minus one
+// (positive = slower).
+func (c *Comparison) Slowdown() float64 {
+	return c.EEWA.Makespan/c.Cilk.Makespan - 1
+}
+
+// Compare runs w under Cilk, Cilk-D and EEWA on cfg.
+func Compare(cfg MachineConfig, w *Workload) (*Comparison, error) {
+	out := &Comparison{}
+	for _, pc := range []struct {
+		name string
+		dst  **Result
+	}{
+		{PolicyCilk, &out.Cilk},
+		{PolicyCilkD, &out.CilkD},
+		{PolicyEEWA, &out.EEWA},
+	} {
+		res, err := Simulate(cfg, w, pc.name)
+		if err != nil {
+			return nil, err
+		}
+		*pc.dst = res
+	}
+	return out, nil
+}
+
+// NewRuntime builds the live goroutine runtime with emulated DVFS.
+func NewRuntime(cfg LiveConfig) (*LiveRuntime, error) { return rt.New(cfg) }
+
+// LivePolicyCilk and LivePolicyEEWA select the live runtime's
+// discipline.
+const (
+	LivePolicyCilk = rt.PolicyCilk
+	LivePolicyEEWA = rt.PolicyEEWA
+)

@@ -1,0 +1,109 @@
+package eewa
+
+import (
+	"testing"
+)
+
+func TestSimulatePolicies(t *testing.T) {
+	cfg := Opteron16()
+	w, err := GenerateWorkload("facade", 3, []ClassSpec{
+		{Name: "h", Count: 8, MeanWork: 0.05, JitterFrac: 0.05},
+		{Name: "l", Count: 24, MeanWork: 0.01, JitterFrac: 0.05},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, policy := range []string{PolicyCilk, PolicyCilkD, PolicyEEWA} {
+		res, err := Simulate(cfg, w, policy)
+		if err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		if res.Makespan <= 0 || res.Energy <= 0 {
+			t.Errorf("%s: degenerate result %v", policy, res)
+		}
+	}
+}
+
+func TestSimulateUnknownPolicy(t *testing.T) {
+	w, _ := GenerateWorkload("x", 1, []ClassSpec{{Name: "a", Count: 1, MeanWork: 1}}, 1)
+	if _, err := Simulate(Opteron16(), w, "magic"); err == nil {
+		t.Error("unknown policy should error")
+	}
+}
+
+func TestCompareShape(t *testing.T) {
+	w := MustBenchmark("md5").Workload(1)
+	cmp, err := Compare(Opteron16(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.EnergySaving() <= 0 {
+		t.Errorf("EEWA should save energy on md5, got %.1f%%", 100*cmp.EnergySaving())
+	}
+	if s := cmp.Slowdown(); s > 0.06 {
+		t.Errorf("EEWA slowdown %.1f%% exceeds 6%%", 100*s)
+	}
+	if !(cmp.EEWA.Energy < cmp.CilkD.Energy && cmp.CilkD.Energy < cmp.Cilk.Energy) {
+		t.Error("energy ordering EEWA < Cilk-D < Cilk violated")
+	}
+}
+
+func TestBenchmarksFacade(t *testing.T) {
+	if got := len(Benchmarks()); got != 7 {
+		t.Errorf("Benchmarks() returned %d, want 7", got)
+	}
+	if _, err := BenchmarkByName("sha1"); err != nil {
+		t.Errorf("sha1 lookup failed: %v", err)
+	}
+	if _, err := BenchmarkByName("nope"); err == nil {
+		t.Error("unknown benchmark should error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBenchmark should panic on unknown name")
+		}
+	}()
+	MustBenchmark("nope")
+}
+
+func TestMachinePresets(t *testing.T) {
+	if cfg := Opteron16(); cfg.Cores != 16 {
+		t.Errorf("Opteron16 has %d cores", cfg.Cores)
+	}
+	if cfg := GenericMachine(8); cfg.Cores != 8 {
+		t.Errorf("GenericMachine(8) has %d cores", cfg.Cores)
+	}
+}
+
+func TestLiveRuntimeFacade(t *testing.T) {
+	r, err := NewRuntime(LiveConfig{
+		Workers: 2,
+		Machine: Opteron16(),
+		Policy:  LivePolicyEEWA,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := 0
+	tasks := []LiveTask{
+		{Class: "t", Run: func() { done++ }},
+		{Class: "t", Run: func() { done++ }},
+	}
+	// Single-threaded closure mutation is fine with 2 workers only if
+	// synchronized; use per-task closures writing distinct slots.
+	results := make([]int, 4)
+	tasks = tasks[:0]
+	for i := 0; i < 4; i++ {
+		i := i
+		tasks = append(tasks, LiveTask{Class: "t", Run: func() { results[i] = 1 }})
+	}
+	bs := r.RunBatch(tasks)
+	if bs.Tasks != 4 {
+		t.Errorf("ran %d tasks, want 4", bs.Tasks)
+	}
+	for i, v := range results {
+		if v != 1 {
+			t.Errorf("task %d did not run", i)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+// Energysweep: the paper's Fig. 9 scalability story, generalized.
+// Sweeps the machine's core count and, independently, the workload's
+// heterogeneity, printing how EEWA's energy saving grows with
+// parallel-capacity headroom.
+//
+// Run with:
+//
+//	go run ./examples/energysweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	eewa "repro"
+	"repro/internal/workloads"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Part 1: core-count sweep on the DMC benchmark (Fig. 9).
+	fmt.Println("DMC across machine sizes (normalized to Cilk at each size):")
+	fmt.Printf("%-6s %12s %12s %12s %12s\n", "cores", "Cilk t(s)", "EEWA t/t0", "Cilk E(J)", "EEWA E/E0")
+	dmc := eewa.MustBenchmark("dmc")
+	for _, cores := range []int{2, 4, 8, 12, 16, 24, 32} {
+		cfg := eewa.GenericMachine(cores)
+		w := dmc.Workload(1)
+		cmp, err := eewa.Compare(cfg, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6d %12.3f %12.3f %12.1f %12.3f\n",
+			cores, cmp.Cilk.Makespan,
+			cmp.EEWA.Makespan/cmp.Cilk.Makespan,
+			cmp.Cilk.Energy,
+			cmp.EEWA.Energy/cmp.Cilk.Energy)
+	}
+
+	// Part 2: heterogeneity sweep — how class skew creates the headroom
+	// EEWA converts into savings. Each synthetic mix has a chunky class
+	// (count×work) and a fine class filling the rest of the batch.
+	fmt.Println("\nworkload-skew sweep on 16 cores:")
+	fmt.Printf("%-26s %8s %10s %10s\n", "mix (heavy + light)", "util", "saving", "slowdown")
+	type mix struct {
+		name string
+		hc   int
+		hw   float64
+		lc   int
+		lw   float64
+	}
+	for _, m := range []mix{
+		{"balanced (64+64 fine)", 64, 0.02, 64, 0.01},
+		{"mild skew (24+104)", 24, 0.07, 104, 0.012},
+		{"strong skew (12+116)", 12, 0.15, 116, 0.02},
+		{"extreme skew (5+123)", 5, 0.17, 123, 0.0046},
+	} {
+		b := workloads.Synthetic(m.name, m.hc, m.hw, m.lc, m.lw, 10)
+		w := b.Workload(1)
+		cmp, err := eewa.Compare(eewa.Opteron16(), w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-26s %8.2f %9.1f%% %9.1f%%\n",
+			m.name, cmp.Cilk.Utilization(), 100*cmp.EnergySaving(), 100*cmp.Slowdown())
+	}
+}

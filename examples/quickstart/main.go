@@ -1,0 +1,48 @@
+// Quickstart: simulate one of the paper's benchmarks under classic
+// work stealing (Cilk), Cilk-D and EEWA on the 16-core DVFS machine,
+// and print the headline numbers of the paper's Fig. 6 — energy
+// savings at (nearly) unchanged execution time.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	eewa "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	cfg := eewa.Opteron16()
+	fmt.Printf("machine: %s — %d cores, frequencies %v GHz\n\n", cfg.Name, cfg.Cores, cfg.Freqs)
+
+	fmt.Printf("%-8s %12s %12s %12s %10s\n", "bench", "Cilk (J)", "Cilk-D (J)", "EEWA (J)", "saving")
+	for _, b := range eewa.Benchmarks() {
+		w := b.Workload(1)
+		cmp, err := eewa.Compare(cfg, w)
+		if err != nil {
+			log.Fatalf("%s: %v", b.Name, err)
+		}
+		fmt.Printf("%-8s %12.1f %12.1f %12.1f %9.1f%%\n",
+			b.Name, cmp.Cilk.Energy, cmp.CilkD.Energy, cmp.EEWA.Energy, 100*cmp.EnergySaving())
+	}
+
+	// Zoom into SHA-1: the per-batch frequency census (the paper's
+	// Fig. 8) shows the adjuster's decision converging.
+	w := eewa.MustBenchmark("sha1").Workload(1)
+	res, err := eewa.Simulate(cfg, w, eewa.PolicyEEWA)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsha1 under EEWA: makespan %.3fs, %d steals, utilization %.2f\n",
+		res.Makespan, res.Steals, res.Utilization())
+	fmt.Println("cores per frequency level, batch by batch:")
+	for bi, census := range res.BatchCensus {
+		fmt.Printf("  batch %2d: %v\n", bi+1, census)
+	}
+}

@@ -1,0 +1,370 @@
+// Package cctable implements the paper's Core-Count (CC) table
+// (Table I) and the backtracking k-tuple search (Algorithm 1) at the
+// heart of EEWA's workload-aware frequency adjuster.
+//
+// Given k task classes TC_i(f_i, n_i, w_i) sorted by descending average
+// workload, an r-level frequency ladder and the ideal iteration time T,
+// the CC table entry CC[j][i] is the number of cores at frequency F_j
+// needed to finish all of class i's work within T:
+//
+//	CC[j][i] = ceil( (F0/Fj) · n_i·w_i / T )
+//
+// (The paper writes the entries analytically without the ceiling; core
+// counts are integral, so we round up — DESIGN.md §5 records the
+// decision and the Fig. 3 test pins the observable behaviour.)
+//
+// A solution is a k-tuple (a_0 … a_{k-1}) meaning "run class i's tasks
+// on cores at frequency F_{a_i}", subject to the paper's three
+// constraints:
+//
+//  1. Σ CC[a_i][i] ≤ m (the machine's core count);
+//  2. the search prefers low frequencies (energy);
+//  3. a_i ≤ a_j for i < j (heavier classes on faster-or-equal cores).
+//
+// Besides the paper's backtracking algorithm the package provides an
+// exhaustive minimum-energy reference and a greedy heuristic, used by
+// the ablation benchmarks to quantify how close Algorithm 1 lands to
+// optimal and at what cost.
+package cctable
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/machine"
+	"repro/internal/profile"
+)
+
+// Table is a built CC table plus the inputs it was derived from.
+type Table struct {
+	// CC[j][i]: cores at frequency level j needed for class i (ceiled).
+	CC [][]int
+	// Frac[j][i]: the analytic (unrounded) entry, kept for ablation.
+	Frac [][]float64
+	// Classes are the k task classes, sorted by descending AvgWork.
+	Classes []profile.Class
+	// Ladder is the machine's frequency ladder.
+	Ladder machine.FreqLadder
+	// T is the ideal iteration time used as the denominator.
+	T float64
+}
+
+// Build constructs the CC table for the given classes (which must
+// already be in descending-AvgWork order, as profile.Classes returns
+// them), ladder and ideal time T.
+func Build(classes []profile.Class, ladder machine.FreqLadder, T float64) (*Table, error) {
+	if err := ladder.Validate(); err != nil {
+		return nil, err
+	}
+	if len(classes) == 0 {
+		return nil, fmt.Errorf("cctable: no task classes")
+	}
+	if T <= 0 || math.IsNaN(T) || math.IsInf(T, 0) {
+		return nil, fmt.Errorf("cctable: invalid ideal time %g", T)
+	}
+	for i := 1; i < len(classes); i++ {
+		if classes[i].AvgWork > classes[i-1].AvgWork+1e-12 {
+			return nil, fmt.Errorf("cctable: classes not sorted by descending workload at %d", i)
+		}
+	}
+	r, k := len(ladder), len(classes)
+	t := &Table{
+		CC:      make([][]int, r),
+		Frac:    make([][]float64, r),
+		Classes: append([]profile.Class(nil), classes...),
+		Ladder:  ladder,
+		T:       T,
+	}
+	for j := 0; j < r; j++ {
+		t.CC[j] = make([]int, k)
+		t.Frac[j] = make([]float64, k)
+		ratio := ladder.Ratio(j) // F0/Fj
+		for i := 0; i < k; i++ {
+			frac := ratio * classes[i].TotalWork() / T
+			t.Frac[j][i] = frac
+			cc := int(math.Ceil(frac - 1e-9)) // tolerance for exact-integer fracs
+			if cc < 1 {
+				cc = 1 // a class with any work needs at least one core
+			}
+			t.CC[j][i] = cc
+		}
+	}
+	return t, nil
+}
+
+// BuildGranular constructs the CC table with a task-indivisibility
+// refinement. The paper's entry ceil((F0/Fj)·n·w/T) is the divisible-
+// load approximation: it assumes a class's aggregate work can be sliced
+// arbitrarily across cores. Real tasks are indivisible, so a core can
+// complete at most floor(T / (w·F0/Fj)) tasks of average size w within
+// T, and class i therefore needs
+//
+//	CC[j][i] = ceil( n_i / floor(T / (w_i·F0/Fj)) )
+//
+// cores at level j. When even a single task does not fit within T at
+// level j (floor = 0), the level is unusable for the class and the
+// entry is set to m·r+1 sentinel-large so no search selects it. The two
+// formulas agree when n_i ≫ CC (fine-grained classes) and diverge for
+// chunky classes — exactly the regime where the divisible formula
+// produces schedules that overrun T (Fig. 1(c) territory). EEWA uses
+// this variant by default; the ablation bench quantifies the gap.
+//
+// maxCores caps the sentinel (pass the machine's core count m).
+func BuildGranular(classes []profile.Class, ladder machine.FreqLadder, T float64, maxCores int) (*Table, error) {
+	t, err := Build(classes, ladder, T)
+	if err != nil {
+		return nil, err
+	}
+	if maxCores <= 0 {
+		return nil, fmt.Errorf("cctable: maxCores must be positive, got %d", maxCores)
+	}
+	sentinel := maxCores*len(ladder) + 1
+	for j := 0; j < t.R(); j++ {
+		ratio := ladder.Ratio(j)
+		for i := 0; i < t.K(); i++ {
+			c := &t.Classes[i]
+			// Capacity per core within T, from the average task size.
+			perTask := c.AvgWork * ratio
+			rounds := int(math.Floor(T/perTask + 1e-9))
+			// A level is unusable when even the class's largest observed
+			// task would overrun T there (MaxWork 0 = unknown, fall back
+			// to the average).
+			biggest := c.MaxWork
+			if biggest <= 0 {
+				biggest = c.AvgWork
+			}
+			if rounds <= 0 || biggest*ratio > T*(1+1e-9) {
+				t.CC[j][i] = sentinel
+				continue
+			}
+			granular := (c.Count + rounds - 1) / rounds // ceil(n/rounds)
+			if granular > t.CC[j][i] {
+				t.CC[j][i] = granular
+			}
+		}
+	}
+	return t, nil
+}
+
+// FromCounts builds a Table directly from integer core counts — used by
+// tests that reproduce the paper's Fig. 3 example, where the CC matrix
+// is given rather than derived.
+func FromCounts(cc [][]int, ladder machine.FreqLadder) (*Table, error) {
+	if err := ladder.Validate(); err != nil {
+		return nil, err
+	}
+	if len(cc) != len(ladder) {
+		return nil, fmt.Errorf("cctable: %d rows for %d frequency levels", len(cc), len(ladder))
+	}
+	k := len(cc[0])
+	if k == 0 {
+		return nil, fmt.Errorf("cctable: empty rows")
+	}
+	t := &Table{CC: make([][]int, len(cc)), Frac: make([][]float64, len(cc)), Ladder: ladder, T: 1}
+	for j := range cc {
+		if len(cc[j]) != k {
+			return nil, fmt.Errorf("cctable: ragged row %d", j)
+		}
+		t.CC[j] = append([]int(nil), cc[j]...)
+		t.Frac[j] = make([]float64, k)
+		for i, v := range cc[j] {
+			if v < 1 {
+				return nil, fmt.Errorf("cctable: entry [%d][%d] = %d < 1", j, i, v)
+			}
+			t.Frac[j][i] = float64(v)
+		}
+	}
+	t.Classes = make([]profile.Class, k)
+	for i := range t.Classes {
+		t.Classes[i] = profile.Class{Name: fmt.Sprintf("TC%d", i), Count: 1, AvgWork: float64(k - i)}
+	}
+	return t, nil
+}
+
+// K returns the number of task classes (columns).
+func (t *Table) K() int { return len(t.Classes) }
+
+// R returns the number of frequency levels (rows).
+func (t *Table) R() int { return len(t.Ladder) }
+
+// CoresNeeded returns Σ CC[a_i][i] for a tuple.
+func (t *Table) CoresNeeded(tuple []int) int {
+	sum := 0
+	for i, a := range tuple {
+		sum += t.CC[a][i]
+	}
+	return sum
+}
+
+// ValidTuple reports whether tuple satisfies all three constraints for
+// a machine with m cores.
+func (t *Table) ValidTuple(tuple []int, m int) bool {
+	if len(tuple) != t.K() {
+		return false
+	}
+	prev := 0
+	for _, a := range tuple {
+		if a < 0 || a >= t.R() || a < prev {
+			return false
+		}
+		prev = a
+	}
+	return t.CoresNeeded(tuple) <= m
+}
+
+// SearchTuple is the paper's Algorithm 1: a depth-first backtracking
+// search that, for each class from heaviest to lightest, tries the
+// lowest frequencies first (j from r-1 down to a[i-1]) and accepts the
+// first complete assignment that fits within m cores. It returns the
+// tuple and true on success; on failure (even running every class at F0
+// cannot fit m cores within T) it returns the all-F0 tuple and false —
+// the adjuster's documented fallback.
+//
+// Search state is two locals (the partial tuple and the running core
+// count), so the function allocates exactly one k-slice.
+func (t *Table) SearchTuple(m int) ([]int, bool) {
+	k, r := t.K(), t.R()
+	a := make([]int, k)
+	cn := 0 // running core count, the paper's c_n
+
+	var search func(i int) bool
+	search = func(i int) bool {
+		if i >= k {
+			return true
+		}
+		lo := 0
+		if i > 0 {
+			lo = a[i-1] // constraint 3: a_i ≥ a_{i-1} in row index
+		}
+		for j := r - 1; j >= lo; j-- {
+			if t.CC[j][i]+cn <= m { // Select(i, j)
+				a[i] = j
+				cn += t.CC[j][i]
+				if search(i + 1) {
+					return true
+				}
+				cn -= t.CC[a[i]][i] // undo, line 15
+			}
+		}
+		return false
+	}
+
+	if search(0) {
+		return a, true
+	}
+	for i := range a {
+		a[i] = 0
+	}
+	return a, false
+}
+
+// EnergyScore estimates the relative energy of running one iteration
+// under a tuple: each class's c-group of CC[a_i][i] cores runs busy for
+// ~T at frequency a_i, so the score is Σ CC[a_i][i] · P_active(a_i).
+// Lower is better. The score is the objective ExhaustiveSearch
+// minimizes and the yardstick the ablation bench uses for Algorithm 1.
+func (t *Table) EnergyScore(tuple []int, pm machine.PowerModel) float64 {
+	s := 0.0
+	for i, a := range tuple {
+		// Best-case (package-aligned) active power at level a.
+		s += float64(t.CC[a][i]) * pm.CorePower(machine.Busy, a, a, t.Ladder)
+	}
+	return s
+}
+
+// ExhaustiveSearch enumerates every monotone tuple that fits within m
+// cores and returns the one with the minimum EnergyScore. It is
+// exponential in k (r^k tuples before pruning) and exists purely as the
+// optimality reference for small instances; the adjuster never calls
+// it. Returns false (and the all-F0 tuple) when no tuple fits.
+func (t *Table) ExhaustiveSearch(m int, pm machine.PowerModel) ([]int, bool) {
+	k, r := t.K(), t.R()
+	cur := make([]int, k)
+	best := make([]int, k)
+	bestScore := math.Inf(1)
+	found := false
+	cn := 0
+
+	var walk func(i int)
+	walk = func(i int) {
+		if i >= k {
+			if score := t.EnergyScore(cur, pm); score < bestScore {
+				bestScore = score
+				copy(best, cur)
+				found = true
+			}
+			return
+		}
+		lo := 0
+		if i > 0 {
+			lo = cur[i-1]
+		}
+		for j := lo; j < r; j++ {
+			need := t.CC[j][i]
+			if cn+need > m {
+				continue
+			}
+			cur[i] = j
+			cn += need
+			walk(i + 1)
+			cn -= need
+		}
+	}
+	walk(0)
+	if !found {
+		return make([]int, k), false
+	}
+	return best, true
+}
+
+// GreedySearch assigns each class, heaviest first, the slowest
+// frequency whose core cost still leaves enough budget (a single
+// non-backtracking pass). It can fail where Algorithm 1 succeeds; the
+// ablation bench quantifies how often. Returns the all-F0 tuple and
+// false on failure.
+func (t *Table) GreedySearch(m int) ([]int, bool) {
+	k, r := t.K(), t.R()
+	a := make([]int, k)
+	cn := 0
+	lo := 0
+	for i := 0; i < k; i++ {
+		placed := false
+		for j := r - 1; j >= lo; j-- {
+			// Reserve at least one F0-equivalent core per remaining class
+			// so the pass doesn't strand the tail.
+			reserve := 0
+			for rest := i + 1; rest < k; rest++ {
+				reserve += t.CC[0][rest]
+			}
+			if cn+t.CC[j][i]+reserve <= m {
+				a[i] = j
+				cn += t.CC[j][i]
+				lo = j
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return make([]int, k), false
+		}
+	}
+	return a, true
+}
+
+// String renders the table in the layout of the paper's Table I, for
+// the eewa-ktuple CLI and debugging.
+func (t *Table) String() string {
+	out := "      "
+	for i := range t.Classes {
+		out += fmt.Sprintf("%8s", t.Classes[i].Name)
+	}
+	out += "\n"
+	for j := 0; j < t.R(); j++ {
+		out += fmt.Sprintf("F%d=%.1f", j, t.Ladder[j])
+		for i := 0; i < t.K(); i++ {
+			out += fmt.Sprintf("%8d", t.CC[j][i])
+		}
+		out += "\n"
+	}
+	return out
+}

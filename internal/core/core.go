@@ -1,0 +1,203 @@
+// Package core implements the paper's primary contribution: the
+// workload-aware frequency adjuster (§III-A). It glues the online
+// profile (task classes), the CC table (Table I), the Algorithm 1
+// backtracking search and the c-group construction into one decision
+// procedure:
+//
+//	given the task classes of the last iteration and the ideal
+//	iteration time T, choose a frequency level for every core and a
+//	c-group for every task class such that the next iteration still
+//	finishes in ≈T while drawing minimal power.
+//
+// Both runtimes share it: the discrete-event simulator
+// (internal/sched's EEWA policy) and the live goroutine runtime
+// (internal/rt). The zero-configuration entry point is NewAdjuster;
+// knobs exist for the ablation studies (paper-exact divisible CC
+// formula, alternative tuple searches).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/cctable"
+	"repro/internal/cgroup"
+	"repro/internal/machine"
+	"repro/internal/memmodel"
+	"repro/internal/profile"
+)
+
+// SearchFunc selects a k-tuple from a CC table for an m-core machine.
+// (*cctable.Table).SearchTuple — the paper's Algorithm 1 — is the
+// default.
+type SearchFunc func(t *cctable.Table, m int) ([]int, bool)
+
+// Adjuster is the workload-aware frequency adjuster.
+type Adjuster struct {
+	ladder machine.FreqLadder
+	cores  int
+
+	// Search is the tuple-search algorithm (Algorithm 1 by default).
+	Search SearchFunc
+	// DivisibleCC selects the paper's divisible-load CC formula
+	// instead of the granularity-aware default (see
+	// cctable.BuildGranular).
+	DivisibleCC bool
+
+	// LastTable and LastTuple expose the most recent decision for
+	// tracing and the eewa-ktuple CLI.
+	LastTable *cctable.Table
+	LastTuple []int
+	// Infeasible counts adjustments where not even the all-F0 row fit
+	// within the core budget (the adjuster then keeps every core
+	// fast).
+	Infeasible int
+	// HostTime accumulates the measured wall time spent deciding —
+	// the quantity Table III reports.
+	HostTime time.Duration
+}
+
+// NewAdjuster builds an adjuster for an m-core machine with the given
+// frequency ladder.
+func NewAdjuster(ladder machine.FreqLadder, cores int) (*Adjuster, error) {
+	if err := ladder.Validate(); err != nil {
+		return nil, err
+	}
+	if cores <= 0 {
+		return nil, fmt.Errorf("core: need at least one core, got %d", cores)
+	}
+	return &Adjuster{
+		ladder: ladder,
+		cores:  cores,
+		Search: func(t *cctable.Table, m int) ([]int, bool) { return t.SearchTuple(m) },
+	}, nil
+}
+
+// AllFast returns the degenerate everyone-at-F0 assignment the
+// adjuster falls back to (first batch, memory-bound applications,
+// infeasible instances).
+func (a *Adjuster) AllFast() *cgroup.Assignment {
+	return cgroup.AllFast(a.cores, nil)
+}
+
+// Adjust decides the frequency configuration for the next iteration
+// from the previous iteration's task classes (descending average
+// workload, as profile.Classes returns them) and the ideal iteration
+// time T (seconds). The boolean is false when the adjuster fell back
+// to all-fast — because the classes were empty, T was unusable, or no
+// tuple fit the core budget.
+func (a *Adjuster) Adjust(classes []profile.Class, T float64) (*cgroup.Assignment, bool) {
+	if len(classes) == 0 || T <= 0 {
+		return a.AllFast(), false
+	}
+	start := time.Now()
+	defer func() { a.HostTime += time.Since(start) }()
+
+	var tab *cctable.Table
+	var err error
+	if a.DivisibleCC {
+		tab, err = cctable.Build(classes, a.ladder, T)
+	} else {
+		tab, err = cctable.BuildGranular(classes, a.ladder, T, a.cores)
+	}
+	if err != nil {
+		return a.AllFast(), false
+	}
+	tuple, ok := a.Search(tab, a.cores)
+	a.LastTable = tab
+	a.LastTuple = tuple
+	if !ok {
+		a.Infeasible++
+		return a.AllFast(), false
+	}
+	asn, err := cgroup.FromTuple(tuple, tab, a.cores)
+	if err != nil {
+		a.Infeasible++
+		return a.AllFast(), false
+	}
+	return asn, true
+}
+
+// MemDecision is the outcome of a memory-aware adjustment.
+type MemDecision int
+
+const (
+	// MemOK: a model-based frequency configuration was found.
+	MemOK MemDecision = iota
+	// MemCalibrate: the classes lack samples at a second frequency
+	// level; the returned assignment runs every core at the
+	// calibration level for one batch to collect them.
+	MemCalibrate
+	// MemFallback: modeling failed (no classes, bad T, or no feasible
+	// tuple); the returned assignment is all-fast classic stealing —
+	// the paper's §IV-D behaviour.
+	MemFallback
+)
+
+// String implements fmt.Stringer.
+func (d MemDecision) String() string {
+	switch d {
+	case MemOK:
+		return "ok"
+	case MemCalibrate:
+		return "calibrate"
+	case MemFallback:
+		return "fallback"
+	default:
+		return fmt.Sprintf("MemDecision(%d)", int(d))
+	}
+}
+
+// CalLevel returns the frequency level used for calibration batches:
+// the middle of the ladder — far enough from F0 that the two sample
+// points separate the (a, b) coefficients, but not so slow that the
+// calibration batch costs a full F0/F(r-1) stretch.
+func (a *Adjuster) CalLevel() int { return len(a.ladder) / 2 }
+
+// AdjustMemAware decides the next batch's configuration for a
+// memory-bound application (the paper's future-work extension; see
+// internal/memmodel). It consumes the profiler directly because the
+// frequency-response fit needs the raw per-level times that Eq. 1
+// normalization would destroy.
+func (a *Adjuster) AdjustMemAware(p *profile.Profiler, T float64) (*cgroup.Assignment, MemDecision) {
+	classes := p.Classes()
+	if len(classes) == 0 || T <= 0 {
+		return a.AllFast(), MemFallback
+	}
+	start := time.Now()
+	defer func() { a.HostTime += time.Since(start) }()
+
+	models, ok := memmodel.FitAll(p, classes, a.ladder)
+	if !ok {
+		// Need a second frequency sample: one uniform batch at the
+		// calibration level, classic stealing so every class spreads.
+		levels := make([]int, a.cores)
+		for i := range levels {
+			levels[i] = a.CalLevel()
+		}
+		asn, err := cgroup.FromLevels(levels, len(a.ladder))
+		if err != nil {
+			return a.AllFast(), MemFallback
+		}
+		return asn, MemCalibrate
+	}
+	sort.Slice(models, func(i, j int) bool { return models[i].TimeAt(1) > models[j].TimeAt(1) })
+	tab, err := memmodel.BuildTable(models, a.ladder, T, a.cores)
+	if err != nil {
+		return a.AllFast(), MemFallback
+	}
+	tuple, ok := a.Search(tab, a.cores)
+	a.LastTable = tab
+	a.LastTuple = tuple
+	if !ok {
+		a.Infeasible++
+		return a.AllFast(), MemFallback
+	}
+	asn, err := cgroup.FromTuple(tuple, tab, a.cores)
+	if err != nil {
+		a.Infeasible++
+		return a.AllFast(), MemFallback
+	}
+	return asn, MemOK
+}

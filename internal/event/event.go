@@ -1,0 +1,204 @@
+// Package event implements the discrete-event simulation engine that
+// underlies the EEWA multi-core machine model.
+//
+// The engine is a classic calendar queue: events are (time, callback)
+// pairs ordered by a binary heap; popping an event advances the
+// simulated clock to the event's timestamp and invokes its callback,
+// which may schedule further events. Ties in time are broken by a
+// monotonically increasing sequence number so that simulation runs are
+// fully deterministic — a property every scheduler test in this
+// repository relies on.
+//
+// Time is a float64 measured in seconds. The engine itself attaches no
+// unit semantics; the machine model defines them.
+package event
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Event is a scheduled callback. The zero value is not useful; obtain
+// events from Queue.At. An Event may be cancelled until it fires.
+type Event struct {
+	time     float64
+	seq      uint64
+	index    int // heap index; -1 once removed
+	fn       func()
+	canceled bool
+}
+
+// Time returns the simulated time at which the event is due.
+func (e *Event) Time() float64 { return e.time }
+
+// Canceled reports whether the event has been cancelled.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// Queue is a discrete-event queue with its own simulated clock.
+// A Queue is not safe for concurrent use: the simulator is
+// single-threaded by design (determinism beats parallel speed for a
+// scheduler model of this size).
+type Queue struct {
+	now     float64
+	nextSeq uint64
+	heap    eventHeap
+	fired   uint64
+}
+
+// New returns an empty queue with the clock at zero.
+func New() *Queue {
+	return &Queue{}
+}
+
+// Now returns the current simulated time in seconds.
+func (q *Queue) Now() float64 { return q.now }
+
+// Len returns the number of pending (non-cancelled) events.
+// Cancelled events still occupy the heap until popped, so Len compensates
+// by walking would be O(n); instead the queue keeps lazy deletion and Len
+// reports the heap size minus nothing — callers that need an exact count
+// should use Empty, which skips cancelled heads.
+func (q *Queue) Len() int { return len(q.heap) }
+
+// Fired returns the number of events executed so far; useful for
+// overhead accounting and loop-bound assertions in tests.
+func (q *Queue) Fired() uint64 { return q.fired }
+
+// At schedules fn to run at absolute simulated time t and returns the
+// event handle. Scheduling in the past is a programming error in a
+// discrete-event model, so it panics.
+func (q *Queue) At(t float64, fn func()) *Event {
+	if t < q.now {
+		panic(fmt.Sprintf("event: scheduling at %g before now %g", t, q.now))
+	}
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		panic(fmt.Sprintf("event: non-finite time %g", t))
+	}
+	if fn == nil {
+		panic("event: nil callback")
+	}
+	e := &Event{time: t, seq: q.nextSeq, fn: fn}
+	q.nextSeq++
+	heap.Push(&q.heap, e)
+	return e
+}
+
+// After schedules fn to run d seconds from now.
+func (q *Queue) After(d float64, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("event: negative delay %g", d))
+	}
+	return q.At(q.now+d, fn)
+}
+
+// Cancel marks e as cancelled. Cancelling an already-fired or
+// already-cancelled event is a no-op, which lets callers cancel
+// defensively.
+func (q *Queue) Cancel(e *Event) {
+	if e == nil || e.canceled || e.index < 0 {
+		return
+	}
+	e.canceled = true
+}
+
+// Step pops and runs the next pending event, advancing the clock.
+// It returns false when no events remain. Cancelled events are skipped
+// silently (lazy deletion).
+func (q *Queue) Step() bool {
+	for len(q.heap) > 0 {
+		e := heap.Pop(&q.heap).(*Event)
+		if e.canceled {
+			continue
+		}
+		q.now = e.time
+		q.fired++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty.
+func (q *Queue) Run() {
+	for q.Step() {
+	}
+}
+
+// RunUntil executes events with time ≤ deadline, advancing the clock to
+// exactly deadline afterwards (even if the last event fired earlier).
+// It returns the number of events executed.
+func (q *Queue) RunUntil(deadline float64) int {
+	if deadline < q.now {
+		panic(fmt.Sprintf("event: RunUntil(%g) before now %g", deadline, q.now))
+	}
+	n := 0
+	for {
+		e := q.peek()
+		if e == nil || e.time > deadline {
+			break
+		}
+		if q.Step() {
+			n++
+		}
+	}
+	q.now = deadline
+	return n
+}
+
+// peek returns the next non-cancelled event without popping it, pruning
+// cancelled heads as a side effect.
+func (q *Queue) peek() *Event {
+	for len(q.heap) > 0 {
+		e := q.heap[0]
+		if !e.canceled {
+			return e
+		}
+		heap.Pop(&q.heap)
+	}
+	return nil
+}
+
+// NextTime returns the timestamp of the next pending event and true, or
+// 0 and false when the queue is empty.
+func (q *Queue) NextTime() (float64, bool) {
+	e := q.peek()
+	if e == nil {
+		return 0, false
+	}
+	return e.time, true
+}
+
+// eventHeap implements heap.Interface ordered by (time, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,221 @@
+package event
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestFIFOAtSameTime(t *testing.T) {
+	q := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		q.At(1.0, func() { order = append(order, i) })
+	}
+	q.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events fired out of order: %v", order)
+		}
+	}
+}
+
+func TestTimeOrdering(t *testing.T) {
+	q := New()
+	var order []float64
+	times := []float64{5, 1, 3, 2, 4, 0.5}
+	for _, tm := range times {
+		tm := tm
+		q.At(tm, func() { order = append(order, tm) })
+	}
+	q.Run()
+	if !sort.Float64sAreSorted(order) {
+		t.Fatalf("events fired out of time order: %v", order)
+	}
+	if q.Now() != 5 {
+		t.Errorf("clock = %g, want 5", q.Now())
+	}
+}
+
+func TestAfterUsesCurrentClock(t *testing.T) {
+	q := New()
+	var firedAt float64
+	q.At(2, func() {
+		q.After(3, func() { firedAt = q.Now() })
+	})
+	q.Run()
+	if firedAt != 5 {
+		t.Errorf("After fired at %g, want 5", firedAt)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	q := New()
+	fired := false
+	e := q.At(1, func() { fired = true })
+	q.Cancel(e)
+	q.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	if !e.Canceled() {
+		t.Error("Canceled() = false after Cancel")
+	}
+	// Double cancel and nil cancel are no-ops.
+	q.Cancel(e)
+	q.Cancel(nil)
+}
+
+func TestCancelOneOfMany(t *testing.T) {
+	q := New()
+	var order []int
+	e1 := q.At(1, func() { order = append(order, 1) })
+	q.At(2, func() { order = append(order, 2) })
+	q.At(3, func() { order = append(order, 3) })
+	q.Cancel(e1)
+	q.Run()
+	if len(order) != 2 || order[0] != 2 || order[1] != 3 {
+		t.Errorf("order = %v, want [2 3]", order)
+	}
+}
+
+func TestStepReturnsFalseWhenEmpty(t *testing.T) {
+	q := New()
+	if q.Step() {
+		t.Error("Step on empty queue should return false")
+	}
+	q.At(1, func() {})
+	if !q.Step() {
+		t.Error("Step with pending event should return true")
+	}
+	if q.Step() {
+		t.Error("Step after drain should return false")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	q := New()
+	var fired []float64
+	for _, tm := range []float64{1, 2, 3, 4} {
+		tm := tm
+		q.At(tm, func() { fired = append(fired, tm) })
+	}
+	n := q.RunUntil(2.5)
+	if n != 2 {
+		t.Errorf("RunUntil executed %d events, want 2", n)
+	}
+	if q.Now() != 2.5 {
+		t.Errorf("clock = %g, want 2.5 after RunUntil", q.Now())
+	}
+	q.Run()
+	if len(fired) != 4 {
+		t.Errorf("total fired = %d, want 4", len(fired))
+	}
+}
+
+func TestRunUntilExactBoundaryInclusive(t *testing.T) {
+	q := New()
+	fired := false
+	q.At(2, func() { fired = true })
+	q.RunUntil(2)
+	if !fired {
+		t.Error("event at the deadline should fire")
+	}
+}
+
+func TestNextTime(t *testing.T) {
+	q := New()
+	if _, ok := q.NextTime(); ok {
+		t.Error("NextTime on empty queue should report false")
+	}
+	e := q.At(3, func() {})
+	q.At(5, func() {})
+	if tm, ok := q.NextTime(); !ok || tm != 3 {
+		t.Errorf("NextTime = %g,%v want 3,true", tm, ok)
+	}
+	q.Cancel(e)
+	if tm, ok := q.NextTime(); !ok || tm != 5 {
+		t.Errorf("NextTime after cancel = %g,%v want 5,true", tm, ok)
+	}
+}
+
+func TestPanicsOnBadInput(t *testing.T) {
+	q := New()
+	q.At(5, func() {})
+	q.Run()
+	mustPanic(t, "past", func() { q.At(1, func() {}) })
+	mustPanic(t, "nan", func() { q.At(math.NaN(), func() {}) })
+	mustPanic(t, "inf", func() { q.At(math.Inf(1), func() {}) })
+	mustPanic(t, "nil fn", func() { q.At(6, nil) })
+	mustPanic(t, "negative delay", func() { q.After(-1, func() {}) })
+	mustPanic(t, "RunUntil past", func() { q.RunUntil(1) })
+}
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	fn()
+}
+
+func TestFiredCounter(t *testing.T) {
+	q := New()
+	for i := 0; i < 7; i++ {
+		q.At(float64(i), func() {})
+	}
+	e := q.At(100, func() {})
+	q.Cancel(e)
+	q.Run()
+	if q.Fired() != 7 {
+		t.Errorf("Fired = %d, want 7 (cancelled events don't count)", q.Fired())
+	}
+}
+
+func TestCascadingSchedule(t *testing.T) {
+	// An event chain where each event schedules the next models how the
+	// simulator advances cores task by task.
+	q := New()
+	count := 0
+	var step func()
+	step = func() {
+		count++
+		if count < 100 {
+			q.After(0.5, step)
+		}
+	}
+	q.After(0.5, step)
+	q.Run()
+	if count != 100 {
+		t.Errorf("chain executed %d steps, want 100", count)
+	}
+	if got, want := q.Now(), 50.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("clock = %g, want %g", got, want)
+	}
+}
+
+// Property: for any random set of event times, execution order is a
+// non-decreasing time sequence and all events fire exactly once.
+func TestOrderingProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := New()
+		total := int(n%64) + 1
+		var fired []float64
+		for i := 0; i < total; i++ {
+			tm := rng.Float64() * 100
+			tm2 := tm
+			q.At(tm, func() { fired = append(fired, tm2) })
+		}
+		q.Run()
+		return len(fired) == total && sort.Float64sAreSorted(fired)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

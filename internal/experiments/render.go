@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sched"
+)
+
+// RenderFig1 formats the four-schedule example as an aligned table.
+func RenderFig1(schedules []Fig1Schedule) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 1 — four schedules of γ0 (2t) and γ1 (t) on a DVFS dual-core (t = 1 s)\n")
+	fmt.Fprintf(&b, "%-20s %12s %12s\n", "schedule", "time (t)", "energy (J)")
+	for _, s := range schedules {
+		fmt.Fprintf(&b, "%-20s %12.2f %12.1f\n", s.Name, s.Time, s.Energy)
+	}
+	return b.String()
+}
+
+// RenderFig6 formats the normalized time/energy rows.
+func RenderFig6(rows []Fig6Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 6 — normalized execution time and energy (Cilk = 1.00), 16 cores\n")
+	fmt.Fprintf(&b, "%-8s", "bench")
+	for _, p := range Fig6Policies {
+		fmt.Fprintf(&b, " %10s", p+" t")
+	}
+	for _, p := range Fig6Policies {
+		fmt.Fprintf(&b, " %10s", p+" E")
+	}
+	b.WriteString("\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s", r.Benchmark)
+		for _, p := range Fig6Policies {
+			fmt.Fprintf(&b, " %10.3f", r.NormTime[p])
+		}
+		for _, p := range Fig6Policies {
+			fmt.Fprintf(&b, " %10.3f", r.NormEnergy[p])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// RenderFig7 formats the asymmetric-machine comparison.
+func RenderFig7(rows []Fig7Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 7 — execution time on frozen asymmetric configs (EEWA = 1.00)\n")
+	fmt.Fprintf(&b, "%-8s %10s %10s %10s   %s\n", "bench", "Cilk", "WATS", "EEWA", "frozen config (cores/level)")
+	for _, r := range rows {
+		census := map[int]int{}
+		for _, l := range r.Levels {
+			census[l]++
+		}
+		var cfg []string
+		for lvl := 0; lvl < 8; lvl++ {
+			if census[lvl] > 0 {
+				cfg = append(cfg, fmt.Sprintf("%d@F%d", census[lvl], lvl))
+			}
+		}
+		fmt.Fprintf(&b, "%-8s %10.2f %10.2f %10.2f   %s\n",
+			r.Benchmark, r.RelTime["Cilk"], r.RelTime["WATS"], r.RelTime["EEWA"], strings.Join(cfg, " "))
+	}
+	return b.String()
+}
+
+// RenderFig8 formats the per-batch frequency census.
+func RenderFig8(res *Fig8Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 8 — cores per frequency in the %d batches of SHA-1 (EEWA)\n", len(res.Census))
+	fmt.Fprintf(&b, "%-8s", "batch")
+	for _, f := range res.Freqs {
+		fmt.Fprintf(&b, " %8.1fGHz", f)
+	}
+	b.WriteString("\n")
+	for bi, c := range res.Census {
+		fmt.Fprintf(&b, "%-8d", bi+1)
+		for _, n := range c {
+			fmt.Fprintf(&b, " %11d", n)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// RenderFig9 formats the scalability table.
+func RenderFig9(points []Fig9Point) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 9 — DMC on 4/8/12/16 cores (normalized to Cilk at each size)\n")
+	fmt.Fprintf(&b, "%-6s %-8s %12s %12s %10s %10s\n", "cores", "policy", "time (s)", "energy (J)", "norm t", "norm E")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-6d %-8s %12.4f %12.1f %10.3f %10.3f\n",
+			p.Cores, p.Policy, p.Time, p.Energy, p.NormTime, p.NormEnergy)
+	}
+	return b.String()
+}
+
+// RenderTable3 formats the overhead table.
+func RenderTable3(rows []Table3Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table III — adjuster overhead under EEWA\n")
+	fmt.Fprintf(&b, "%-8s %14s %14s %16s %10s\n", "bench", "exec (ms)", "sim ovh (ms)", "host ovh (µs)", "percent")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %14.1f %14.1f %16.1f %9.2f%%\n",
+			r.Benchmark, r.ExecTime*1e3, r.SimOverhead*1e3,
+			float64(r.HostOverhead.Microseconds()), r.Percent)
+	}
+	return b.String()
+}
+
+// RenderMemBound formats the memory-bound extension comparison.
+func RenderMemBound(res *MemBoundResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Memory-bound application (§IV-D): fallback vs frequency-response extension\n")
+	fmt.Fprintf(&b, "%-24s %12s %12s %10s\n", "discipline", "time (s)", "energy (J)", "saving")
+	rows := []struct {
+		name string
+		r    *sched.Result
+	}{
+		{"Cilk", res.Cilk},
+		{"EEWA (paper fallback)", res.Fallback},
+		{"EEWA (MemAware ext.)", res.MemAware},
+	}
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%-24s %12.4f %12.1f %9.1f%%\n",
+			row.name, row.r.Makespan, row.r.Energy, 100*(1-row.r.Energy/res.Cilk.Energy))
+	}
+	return b.String()
+}
+
+// RenderAblation formats an ablation comparison.
+func RenderAblation(title string, rows []AblationRow, variants []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-8s", "bench")
+	for _, v := range variants {
+		fmt.Fprintf(&b, " %12s", v+" E(J)")
+	}
+	for _, v := range variants {
+		fmt.Fprintf(&b, " %12s", v+" t(s)")
+	}
+	b.WriteString("\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s", r.Benchmark)
+		for _, v := range variants {
+			fmt.Fprintf(&b, " %12.1f", r.Energy[v])
+		}
+		for _, v := range variants {
+			fmt.Fprintf(&b, " %12.4f", r.Time[v])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// bar renders a horizontal bar of the given relative length (1.0 =
+// width characters), annotated with the value.
+func bar(value, scale float64, width int, glyph byte) string {
+	n := int(value / scale * float64(width))
+	if n < 0 {
+		n = 0
+	}
+	if n > width {
+		n = width
+	}
+	return strings.Repeat(string(glyph), n)
+}
+
+// RenderFig6Chart draws the normalized-energy comparison as grouped
+// horizontal bars — the visual shape of the paper's Fig. 6.
+func RenderFig6Chart(rows []Fig6Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 6 (chart) — normalized energy, bar width = Cilk baseline\n")
+	const width = 50
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s\n", r.Benchmark)
+		for _, p := range Fig6Policies {
+			v := r.NormEnergy[p]
+			fmt.Fprintf(&b, "  %-7s |%-*s| %.3f\n", p, width, bar(v, 1.0, width, '#'), v)
+		}
+	}
+	return b.String()
+}
+
+// RenderFig9Chart draws the scalability sweep: one bar row per
+// (cores, policy) of normalized energy.
+func RenderFig9Chart(points []Fig9Point) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 9 (chart) — DMC normalized energy by machine size\n")
+	const width = 50
+	for _, p := range points {
+		fmt.Fprintf(&b, "%2d cores %-7s |%-*s| %.3f\n",
+			p.Cores, p.Policy, width, bar(p.NormEnergy, 1.0, width, '#'), p.NormEnergy)
+	}
+	return b.String()
+}

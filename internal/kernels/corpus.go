@@ -1,0 +1,68 @@
+package kernels
+
+import "repro/internal/xrand"
+
+// Deterministic corpus generators shared by the examples, tests and
+// benches. The three profiles bracket the benchmark suite's input
+// space: natural-language-like (highly compressible), binary-random
+// (incompressible) and structured (periodic, mid-compressible).
+
+// corpusWords is the vocabulary of TextCorpus.
+var corpusWords = []string{
+	"energy ", "efficient ", "workload ", "aware ", "task ",
+	"stealing ", "scheduler ", "frequency ", "multicore ", "dvfs ",
+	"the ", "of ", "and ", "batch ", "profile ",
+}
+
+// TextCorpus returns n bytes of compressible pseudo-text,
+// deterministic in seed.
+func TextCorpus(seed uint64, n int) []byte {
+	rng := xrand.New(seed)
+	out := make([]byte, 0, n+16)
+	for len(out) < n {
+		out = append(out, corpusWords[rng.Intn(len(corpusWords))]...)
+	}
+	return out[:n]
+}
+
+// RandomCorpus returns n bytes of incompressible pseudo-random data.
+func RandomCorpus(seed uint64, n int) []byte {
+	rng := xrand.New(seed)
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(rng.Uint64())
+	}
+	return out
+}
+
+// StructuredCorpus returns n bytes of periodic data with short runs —
+// the profile of tabular or sensor-log inputs.
+func StructuredCorpus(seed uint64, n int) []byte {
+	rng := xrand.New(seed)
+	out := make([]byte, 0, n)
+	for len(out) < n {
+		b := byte(rng.Intn(16) * 13)
+		run := rng.Intn(7) + 1
+		for r := 0; r < run && len(out) < n; r++ {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// GradientImage returns a w×h grayscale test image with smooth
+// gradients and mild texture — the JPEG-ish kernels' standard input.
+func GradientImage(seed uint64, w, h int) *Image {
+	rng := xrand.New(seed)
+	im := NewImage(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := 96 + 64*((x+y)%32)/32 + rng.Intn(12)
+			if v > 255 {
+				v = 255
+			}
+			im.Pix[y*w+x] = byte(v)
+		}
+	}
+	return im
+}

@@ -1,0 +1,233 @@
+package kernels
+
+import (
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Canonical Huffman coding over the byte alphabet. The encoded format
+// is self-describing:
+//
+//	[4 bytes LE: original length n]
+//	[256 bytes: code length of each symbol (0 = unused)]
+//	[bit-packed codes, MSB first]
+//
+// Canonical codes are reconstructed from the lengths alone, so the
+// header needs no code table. Lengths are uncapped (≤ 64 in theory,
+// ≤ ~40 in practice for 32-bit counts), which keeps the implementation
+// honest without the length-limiting heuristics real formats need.
+
+type huffNode struct {
+	freq        uint64
+	sym         int // -1 for internal
+	left, right *huffNode
+}
+
+type huffHeap []*huffNode
+
+func (h huffHeap) Len() int { return len(h) }
+func (h huffHeap) Less(i, j int) bool {
+	if h[i].freq != h[j].freq {
+		return h[i].freq < h[j].freq
+	}
+	return h[i].sym < h[j].sym // deterministic tie-break
+}
+func (h huffHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *huffHeap) Push(x any)   { *h = append(*h, x.(*huffNode)) }
+func (h *huffHeap) Pop() any {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return v
+}
+
+// huffLengths computes per-symbol code lengths from frequencies.
+func huffLengths(freq [256]uint64) [256]uint8 {
+	var lengths [256]uint8
+	h := huffHeap{}
+	for s, f := range freq {
+		if f > 0 {
+			h = append(h, &huffNode{freq: f, sym: s})
+		}
+	}
+	if len(h) == 0 {
+		return lengths
+	}
+	if len(h) == 1 {
+		lengths[h[0].sym] = 1 // a single symbol still needs one bit
+		return lengths
+	}
+	heap.Init(&h)
+	internalSym := 256 // tie-break ids for internal nodes
+	for h.Len() > 1 {
+		a := heap.Pop(&h).(*huffNode)
+		b := heap.Pop(&h).(*huffNode)
+		heap.Push(&h, &huffNode{freq: a.freq + b.freq, sym: internalSym, left: a, right: b})
+		internalSym++
+	}
+	root := h[0]
+	var walk func(n *huffNode, depth uint8)
+	walk = func(n *huffNode, depth uint8) {
+		if n.left == nil {
+			lengths[n.sym] = depth
+			return
+		}
+		walk(n.left, depth+1)
+		walk(n.right, depth+1)
+	}
+	walk(root, 0)
+	return lengths
+}
+
+// canonicalCodes assigns canonical codes (shorter lengths first, then
+// symbol order) from lengths.
+func canonicalCodes(lengths [256]uint8) [256]uint64 {
+	type sl struct {
+		sym int
+		l   uint8
+	}
+	var syms []sl
+	for s, l := range lengths {
+		if l > 0 {
+			syms = append(syms, sl{s, l})
+		}
+	}
+	sort.Slice(syms, func(i, j int) bool {
+		if syms[i].l != syms[j].l {
+			return syms[i].l < syms[j].l
+		}
+		return syms[i].sym < syms[j].sym
+	})
+	var codes [256]uint64
+	code := uint64(0)
+	prevLen := uint8(0)
+	for _, s := range syms {
+		code <<= (s.l - prevLen)
+		codes[s.sym] = code
+		code++
+		prevLen = s.l
+	}
+	return codes
+}
+
+// HuffmanEncode compresses data with a canonical Huffman code built
+// from its byte histogram.
+func HuffmanEncode(data []byte) []byte {
+	var freq [256]uint64
+	for _, b := range data {
+		freq[b]++
+	}
+	lengths := huffLengths(freq)
+	codes := canonicalCodes(lengths)
+
+	out := make([]byte, 0, len(data)/2+260)
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(data)))
+	out = append(out, hdr[:]...)
+	for _, l := range lengths {
+		out = append(out, l)
+	}
+	w := bitWriter{out: out}
+	for _, b := range data {
+		w.write64(codes[b], uint(lengths[b]))
+	}
+	w.flush()
+	return w.out
+}
+
+// write64 emits up to 64 bits MSB-first (bitWriter.write handles ≤ 32).
+func (w *bitWriter) write64(code uint64, width uint) {
+	if width > 32 {
+		w.write(uint32(code>>32), width-32)
+		width = 32
+		code &= (1 << 32) - 1
+	}
+	w.write(uint32(code), width)
+}
+
+// HuffmanDecode inverts HuffmanEncode.
+func HuffmanDecode(data []byte) ([]byte, error) {
+	if len(data) < 4+256 {
+		return nil, fmt.Errorf("huffman: header truncated (%d bytes)", len(data))
+	}
+	n := binary.LittleEndian.Uint32(data[:4])
+	var lengths [256]uint8
+	copy(lengths[:], data[4:260])
+	payload := data[260:]
+	if n == 0 {
+		return nil, nil
+	}
+
+	// Canonical decode tables: for each length, the first code and the
+	// symbols in canonical order. Lengths come from the (untrusted)
+	// header, so all arithmetic is done in int — a length of 255 must
+	// not wrap the uint8 table sizes.
+	maxLen := 0
+	for _, l := range lengths {
+		if int(l) > maxLen {
+			maxLen = int(l)
+		}
+	}
+	if maxLen == 0 {
+		return nil, fmt.Errorf("huffman: no symbols for %d bytes of output", n)
+	}
+	count := make([]uint32, maxLen+1)
+	for _, l := range lengths {
+		if l > 0 {
+			count[l]++
+		}
+	}
+	firstCode := make([]uint64, maxLen+2)
+	symIndex := make([]uint32, maxLen+2) // offset into symsByLen
+	var symsByLen []byte
+	{
+		code := uint64(0)
+		offset := uint32(0)
+		for l := 1; l <= maxLen; l++ {
+			firstCode[l] = code
+			symIndex[l] = offset
+			for s := 0; s < 256; s++ {
+				if int(lengths[s]) == l {
+					symsByLen = append(symsByLen, byte(s))
+					offset++
+				}
+			}
+			code = (code + uint64(count[l])) << 1
+		}
+	}
+
+	// Cap the preallocation: n comes from the (untrusted) header, and a
+	// corrupted length must not allocate gigabytes up front. The slice
+	// still grows to n if the payload really decodes that far.
+	capHint := n
+	if capHint > 1<<20 {
+		capHint = 1 << 20
+	}
+	out := make([]byte, 0, capHint)
+	r := bitReader{in: payload}
+	for uint32(len(out)) < n {
+		code := uint64(0)
+		matched := false
+		for l := 1; l <= maxLen; l++ {
+			bit, ok := r.read(1)
+			if !ok {
+				return nil, fmt.Errorf("huffman: truncated payload at symbol %d/%d", len(out), n)
+			}
+			code = (code << 1) | uint64(bit)
+			if count[l] > 0 && code < firstCode[l]+uint64(count[l]) && code >= firstCode[l] {
+				idx := symIndex[l] + uint32(code-firstCode[l])
+				out = append(out, symsByLen[idx])
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("huffman: invalid code at symbol %d/%d", len(out), n)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,330 @@
+package kernels
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// JPEG-style grayscale encoder (the paper's JE benchmark family):
+// 8×8 blocks → level shift → forward DCT → quantization → zigzag →
+// DC delta + AC zero-run coding → canonical Huffman. The decoder
+// inverts everything back to pixels, so tests can measure
+// reconstruction quality (PSNR) exactly as a JPEG pipeline would.
+//
+// The bitstream is our own container, not ITU T.81 interchange format:
+// the goal is the computational kernel, not file compatibility.
+
+// Image is a simple grayscale raster.
+type Image struct {
+	W, H int
+	Pix  []byte // len = W*H, row-major
+}
+
+// NewImage allocates a W×H image.
+func NewImage(w, h int) *Image {
+	return &Image{W: w, H: h, Pix: make([]byte, w*h)}
+}
+
+// At returns the pixel at (x, y), clamping coordinates to the border
+// (JPEG edge extension for partial blocks).
+func (im *Image) At(x, y int) byte {
+	if x >= im.W {
+		x = im.W - 1
+	}
+	if y >= im.H {
+		y = im.H - 1
+	}
+	return im.Pix[y*im.W+x]
+}
+
+// quantLuma is the Annex K luminance quantization table (quality 50).
+var quantLuma = [64]int32{
+	16, 11, 10, 16, 24, 40, 51, 61,
+	12, 12, 14, 19, 26, 58, 60, 55,
+	14, 13, 16, 24, 40, 57, 69, 56,
+	14, 17, 22, 29, 51, 87, 80, 62,
+	18, 22, 37, 56, 68, 109, 103, 77,
+	24, 35, 55, 64, 81, 104, 113, 92,
+	49, 64, 78, 87, 103, 121, 120, 101,
+	72, 92, 95, 98, 112, 100, 103, 99,
+}
+
+// zigzag maps scan order → block index.
+var zigzag = [64]int{
+	0, 1, 8, 16, 9, 2, 3, 10,
+	17, 24, 32, 25, 18, 11, 4, 5,
+	12, 19, 26, 33, 40, 48, 41, 34,
+	27, 20, 13, 6, 7, 14, 21, 28,
+	35, 42, 49, 56, 57, 50, 43, 36,
+	29, 22, 15, 23, 30, 37, 44, 51,
+	58, 59, 52, 45, 38, 31, 39, 46,
+	53, 60, 61, 54, 47, 55, 62, 63,
+}
+
+// scaledQuant returns the quantization table scaled to quality q
+// (1–100), per the IJG formula.
+func scaledQuant(quality int) [64]int32 {
+	if quality < 1 {
+		quality = 1
+	}
+	if quality > 100 {
+		quality = 100
+	}
+	var scale int32
+	if quality < 50 {
+		scale = int32(5000 / quality)
+	} else {
+		scale = int32(200 - 2*quality)
+	}
+	var out [64]int32
+	for i, v := range quantLuma {
+		x := (v*scale + 50) / 100
+		if x < 1 {
+			x = 1
+		}
+		if x > 255 {
+			x = 255
+		}
+		out[i] = x
+	}
+	return out
+}
+
+// fdct8 performs a separable 8-point forward DCT-II on rows and
+// columns of the 8×8 block (float path; the kernel is CPU-bound on
+// purpose).
+func fdct8(block *[64]float64) {
+	var tmp [64]float64
+	// Rows.
+	for r := 0; r < 8; r++ {
+		for u := 0; u < 8; u++ {
+			sum := 0.0
+			for x := 0; x < 8; x++ {
+				sum += block[r*8+x] * math.Cos((2*float64(x)+1)*float64(u)*math.Pi/16)
+			}
+			c := 0.5
+			if u == 0 {
+				c = 1 / (2 * math.Sqrt2)
+			}
+			tmp[r*8+u] = sum * c
+		}
+	}
+	// Columns.
+	for cidx := 0; cidx < 8; cidx++ {
+		for v := 0; v < 8; v++ {
+			sum := 0.0
+			for y := 0; y < 8; y++ {
+				sum += tmp[y*8+cidx] * math.Cos((2*float64(y)+1)*float64(v)*math.Pi/16)
+			}
+			c := 0.5
+			if v == 0 {
+				c = 1 / (2 * math.Sqrt2)
+			}
+			block[v*8+cidx] = sum * c
+		}
+	}
+}
+
+// idct8 inverts fdct8.
+func idct8(block *[64]float64) {
+	var tmp [64]float64
+	// Columns.
+	for cidx := 0; cidx < 8; cidx++ {
+		for y := 0; y < 8; y++ {
+			sum := 0.0
+			for v := 0; v < 8; v++ {
+				c := 0.5
+				if v == 0 {
+					c = 1 / (2 * math.Sqrt2)
+				}
+				sum += c * block[v*8+cidx] * math.Cos((2*float64(y)+1)*float64(v)*math.Pi/16)
+			}
+			tmp[y*8+cidx] = sum
+		}
+	}
+	// Rows.
+	for r := 0; r < 8; r++ {
+		for x := 0; x < 8; x++ {
+			sum := 0.0
+			for u := 0; u < 8; u++ {
+				c := 0.5
+				if u == 0 {
+					c = 1 / (2 * math.Sqrt2)
+				}
+				sum += c * tmp[r*8+u] * math.Cos((2*float64(x)+1)*float64(u)*math.Pi/16)
+			}
+			block[r*8+x] = sum
+		}
+	}
+}
+
+// EncodeJPEGish compresses im at the given quality (1–100).
+// Container: [W][H][quality] (4-byte LE each) + Huffman-coded symbol
+// stream of DC deltas and AC (run, level) pairs, byte-serialized with
+// zigzag order per block.
+func EncodeJPEGish(im *Image, quality int) ([]byte, error) {
+	if im == nil || im.W <= 0 || im.H <= 0 || len(im.Pix) != im.W*im.H {
+		return nil, fmt.Errorf("jpegish: invalid image")
+	}
+	quant := scaledQuant(quality)
+	var syms []byte // symbol stream before entropy coding
+	putVarint := func(v int32) {
+		var buf [5]byte
+		n := binary.PutVarint(buf[:], int64(v))
+		syms = append(syms, buf[:n]...)
+	}
+
+	prevDC := int32(0)
+	for by := 0; by < im.H; by += 8 {
+		for bx := 0; bx < im.W; bx += 8 {
+			var blk [64]float64
+			for y := 0; y < 8; y++ {
+				for x := 0; x < 8; x++ {
+					blk[y*8+x] = float64(im.At(bx+x, by+y)) - 128
+				}
+			}
+			fdct8(&blk)
+			var q [64]int32
+			for i := 0; i < 64; i++ {
+				q[i] = int32(math.Round(blk[i] / float64(quant[i])))
+			}
+			// DC delta.
+			dc := q[0]
+			putVarint(dc - prevDC)
+			prevDC = dc
+			// AC: (zero-run, value) pairs in zigzag order; 0xFF run
+			// marks end-of-block.
+			run := 0
+			for s := 1; s < 64; s++ {
+				v := q[zigzag[s]]
+				if v == 0 {
+					run++
+					continue
+				}
+				for run > 62 {
+					syms = append(syms, 62)
+					putVarint(0) // long-run continuation
+					run -= 63
+				}
+				syms = append(syms, byte(run))
+				putVarint(v)
+				run = 0
+			}
+			syms = append(syms, 0xFF) // end of block
+		}
+	}
+
+	payload := HuffmanEncode(syms)
+	out := make([]byte, 12, 12+len(payload))
+	binary.LittleEndian.PutUint32(out[0:], uint32(im.W))
+	binary.LittleEndian.PutUint32(out[4:], uint32(im.H))
+	binary.LittleEndian.PutUint32(out[8:], uint32(quality))
+	return append(out, payload...), nil
+}
+
+// DecodeJPEGish reconstructs the image from EncodeJPEGish output.
+func DecodeJPEGish(data []byte) (*Image, error) {
+	if len(data) < 12 {
+		return nil, fmt.Errorf("jpegish: truncated header")
+	}
+	w := int(binary.LittleEndian.Uint32(data[0:]))
+	h := int(binary.LittleEndian.Uint32(data[4:]))
+	quality := int(binary.LittleEndian.Uint32(data[8:]))
+	if w <= 0 || h <= 0 || w > 1<<16 || h > 1<<16 {
+		return nil, fmt.Errorf("jpegish: bad dimensions %d×%d", w, h)
+	}
+	syms, err := HuffmanDecode(data[12:])
+	if err != nil {
+		return nil, fmt.Errorf("jpegish: %w", err)
+	}
+	quant := scaledQuant(quality)
+	im := NewImage(w, h)
+
+	pos := 0
+	getVarint := func() (int32, error) {
+		v, n := binary.Varint(syms[pos:])
+		if n <= 0 {
+			return 0, fmt.Errorf("jpegish: bad varint at %d", pos)
+		}
+		pos += n
+		return int32(v), nil
+	}
+
+	prevDC := int32(0)
+	for by := 0; by < h; by += 8 {
+		for bx := 0; bx < w; bx += 8 {
+			var q [64]int32
+			delta, err := getVarint()
+			if err != nil {
+				return nil, err
+			}
+			prevDC += delta
+			q[0] = prevDC
+			s := 1
+			for {
+				if pos >= len(syms) {
+					return nil, fmt.Errorf("jpegish: truncated block stream")
+				}
+				run := syms[pos]
+				pos++
+				if run == 0xFF {
+					break
+				}
+				v, err := getVarint()
+				if err != nil {
+					return nil, err
+				}
+				s += int(run)
+				if v == 0 { // long-run continuation marker
+					s++
+					continue
+				}
+				if s >= 64 {
+					return nil, fmt.Errorf("jpegish: AC index %d out of block", s)
+				}
+				q[zigzag[s]] = v
+				s++
+			}
+			var blk [64]float64
+			for i := 0; i < 64; i++ {
+				blk[i] = float64(q[i] * quant[i])
+			}
+			idct8(&blk)
+			for y := 0; y < 8; y++ {
+				for x := 0; x < 8; x++ {
+					if bx+x >= w || by+y >= h {
+						continue
+					}
+					v := math.Round(blk[y*8+x] + 128)
+					if v < 0 {
+						v = 0
+					}
+					if v > 255 {
+						v = 255
+					}
+					im.Pix[(by+y)*w+bx+x] = byte(v)
+				}
+			}
+		}
+	}
+	return im, nil
+}
+
+// PSNR returns the peak signal-to-noise ratio between two same-size
+// images, in dB (+Inf for identical images).
+func PSNR(a, b *Image) (float64, error) {
+	if a.W != b.W || a.H != b.H {
+		return 0, fmt.Errorf("jpegish: size mismatch %dx%d vs %dx%d", a.W, a.H, b.W, b.H)
+	}
+	var mse float64
+	for i := range a.Pix {
+		d := float64(a.Pix[i]) - float64(b.Pix[i])
+		mse += d * d
+	}
+	mse /= float64(len(a.Pix))
+	if mse == 0 {
+		return math.Inf(1), nil
+	}
+	return 20*math.Log10(255) - 10*math.Log10(mse), nil
+}

@@ -1,0 +1,37 @@
+// Package kernels contains from-scratch Go implementations of the
+// algorithm families behind the paper's Table II benchmarks:
+//
+//	BWC    — Burrows-Wheeler transform + move-to-front + run-length +
+//	         canonical Huffman (bwt.go, mtf.go, huffman.go, bwc.go)
+//	Bzip-2 — the same pipeline applied block-wise with a container
+//	         format and per-block checksums (bzip2like.go)
+//	DMC    — dynamic Markov coding over a cloning bit-predictor with a
+//	         binary arithmetic coder (dmc.go)
+//	JE     — JPEG-style grayscale encoder: 8×8 DCT, quantization,
+//	         zigzag, RLE + Huffman (jpegish.go)
+//	LZW    — Lempel-Ziv-Welch with variable-width codes (lzw.go)
+//	MD5    — RFC 1321 message digest (md5.go)
+//	SHA-1  — RFC 3174 secure hash (sha1.go)
+//
+// Nothing here imports the standard library's crypto or compress
+// packages: the point of the reproduction is to own every substrate
+// (see the system inventory in DESIGN.md §3). The implementations are
+// deliberately straightforward, CPU-bound and allocation-conscious —
+// they are the task payloads of the live work-stealing runtime
+// (internal/rt) and the calibration source for the simulator's
+// workload mixes.
+package kernels
+
+// Sink prevents dead-code elimination of benchmark payloads; the live
+// runtime accumulates digest bytes here-through.
+var Sink uint64
+
+// KeepAlive folds b into Sink so the compiler cannot elide the
+// computation that produced it.
+func KeepAlive(b []byte) {
+	var acc uint64
+	for _, x := range b {
+		acc = acc*131 + uint64(x)
+	}
+	Sink += acc
+}

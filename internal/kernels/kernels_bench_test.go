@@ -1,0 +1,152 @@
+package kernels
+
+import (
+	"bytes"
+	"testing"
+)
+
+// benchCorpus returns compressible pseudo-text of the given size —
+// the payload profile of the paper's benchmark suite.
+func benchCorpus(n int) []byte { return TextCorpus(7, n) }
+
+func BenchmarkMD5(b *testing.B) {
+	data := benchCorpus(64 << 10)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sum := MD5(data)
+		KeepAlive(sum[:])
+	}
+}
+
+func BenchmarkSHA1(b *testing.B) {
+	data := benchCorpus(64 << 10)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sum := SHA1(data)
+		KeepAlive(sum[:])
+	}
+}
+
+func BenchmarkLZWCompress(b *testing.B) {
+	data := benchCorpus(64 << 10)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		KeepAlive(LZWCompress(data))
+	}
+}
+
+func BenchmarkLZWDecompress(b *testing.B) {
+	comp := LZWCompress(benchCorpus(64 << 10))
+	b.SetBytes(int64(len(comp)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out, err := LZWDecompress(comp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		KeepAlive(out)
+	}
+}
+
+func BenchmarkBWT(b *testing.B) {
+	data := benchCorpus(16 << 10)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out, _ := BWT(data)
+		KeepAlive(out)
+	}
+}
+
+func BenchmarkBWC(b *testing.B) {
+	data := benchCorpus(16 << 10)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		KeepAlive(BWC(data))
+	}
+}
+
+func BenchmarkUnBWC(b *testing.B) {
+	comp := BWC(benchCorpus(16 << 10))
+	b.SetBytes(int64(len(comp)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out, err := UnBWC(comp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		KeepAlive(out)
+	}
+}
+
+func BenchmarkBzip2Like(b *testing.B) {
+	data := benchCorpus(64 << 10)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out, err := Bzip2Like(data, 16<<10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		KeepAlive(out)
+	}
+}
+
+func BenchmarkDMCCompress(b *testing.B) {
+	data := benchCorpus(16 << 10)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		KeepAlive(DMCCompress(data))
+	}
+}
+
+func BenchmarkDMCDecompress(b *testing.B) {
+	comp := DMCCompress(benchCorpus(16 << 10))
+	b.SetBytes(int64(len(comp)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out, err := DMCDecompress(comp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		KeepAlive(out)
+	}
+}
+
+func BenchmarkJPEGishEncode(b *testing.B) {
+	im := GradientImage(3, 256, 256)
+	b.SetBytes(int64(len(im.Pix)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out, err := EncodeJPEGish(im, 75)
+		if err != nil {
+			b.Fatal(err)
+		}
+		KeepAlive(out)
+	}
+}
+
+func BenchmarkCRC32(b *testing.B) {
+	data := benchCorpus(64 << 10)
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		Sink += uint64(CRC32(data))
+	}
+}
+
+func BenchmarkHuffmanRoundTrip(b *testing.B) {
+	data := benchCorpus(64 << 10)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out, err := HuffmanDecode(HuffmanEncode(data))
+		if err != nil || !bytes.Equal(out, data) {
+			b.Fatal("round-trip failed")
+		}
+	}
+}

@@ -1,0 +1,412 @@
+// Package machine models a multi-core processor with per-core Dynamic
+// Voltage and Frequency Scaling (DVFS), the hardware substrate the EEWA
+// paper evaluates on (four quad-core AMD Opteron 8380 packages: 16
+// cores, each able to run at 2.5, 1.8, 1.3 or 0.8 GHz).
+//
+// The model has four ingredients:
+//
+//   - a frequency ladder F0 > F1 > … > F(r-1) (GHz);
+//   - a power model P = Static + k·f·V², with a per-level voltage
+//     table and a whole-machine base draw (the paper measures wall
+//     power, so uncore/memory/fan power is part of every reading);
+//   - package-level voltage coupling: on the Opteron 8380, frequency
+//     is per-core but the voltage plane is per-package, so a package's
+//     voltage is set by its fastest member. This is why merely
+//     down-clocking idle cores scattered among busy ones (Cilk-D)
+//     saves only f-linear power, while EEWA's c-groups — which this
+//     runtime lays out contiguously, aligning them with packages —
+//     unlock the full f·V² saving;
+//   - per-core activity states that integrate energy exactly as the
+//     simulated clock advances.
+//
+// Core states distinguish *busy* (executing a task), *spinning*
+// (actively hunting for work — in classic work stealing an idle core
+// polls victim queues at full power, which is precisely the waste EEWA
+// attacks) and *halted* (parked at low power).
+package machine
+
+import (
+	"fmt"
+	"math"
+)
+
+// CoreState is the activity state of a simulated core.
+type CoreState int
+
+const (
+	// Busy means the core is executing a task: full active power.
+	Busy CoreState = iota
+	// Spinning means the core is executing the steal loop: it burns
+	// active power but performs no useful work.
+	Spinning
+	// Halted means the core is parked (monitor/mwait or deep C-state):
+	// leakage plus a small fraction of dynamic power.
+	Halted
+)
+
+// String implements fmt.Stringer for diagnostics.
+func (s CoreState) String() string {
+	switch s {
+	case Busy:
+		return "busy"
+	case Spinning:
+		return "spinning"
+	case Halted:
+		return "halted"
+	default:
+		return fmt.Sprintf("CoreState(%d)", int(s))
+	}
+}
+
+// FreqLadder is the list of available core frequencies in GHz, in
+// strictly descending order: index 0 is F0, the fastest.
+type FreqLadder []float64
+
+// Validate checks the ladder is non-empty, positive and strictly
+// descending (the paper's F_i > F_j for i < j).
+func (f FreqLadder) Validate() error {
+	if len(f) == 0 {
+		return fmt.Errorf("machine: empty frequency ladder")
+	}
+	for i, v := range f {
+		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("machine: invalid frequency %g at index %d", v, i)
+		}
+		if i > 0 && v >= f[i-1] {
+			return fmt.Errorf("machine: ladder not strictly descending at index %d (%g >= %g)", i, v, f[i-1])
+		}
+	}
+	return nil
+}
+
+// Slowest returns the index of the lowest frequency, r-1.
+func (f FreqLadder) Slowest() int { return len(f) - 1 }
+
+// Ratio returns F0/Fj, the slowdown factor of level j relative to the
+// fastest level — the factor used both in Eq. 1 normalization and in
+// the CC table (Table I).
+func (f FreqLadder) Ratio(j int) float64 { return f[0] / f[j] }
+
+// PowerModel parameterizes per-core power as Static + DynCoeff·f·V².
+type PowerModel struct {
+	// Static is per-core leakage in watts, paid in every state.
+	Static float64
+	// DynCoeff is k in the dynamic power term k·f·V² (watts per
+	// GHz·V²).
+	DynCoeff float64
+	// Volt is the per-frequency-level supply voltage in volts; it must
+	// be non-increasing down the ladder.
+	Volt []float64
+	// HaltFrac is the fraction of the dynamic term a Halted core still
+	// draws (clock gating is imperfect).
+	HaltFrac float64
+	// Base is the whole-machine constant draw (uncore, DRAM, fans,
+	// PSU losses) that a wall power meter sees regardless of load.
+	Base float64
+}
+
+// Validate checks the model is consistent with an r-level ladder.
+func (p PowerModel) Validate(r int) error {
+	if len(p.Volt) != r {
+		return fmt.Errorf("machine: voltage table has %d entries, want %d", len(p.Volt), r)
+	}
+	for j, v := range p.Volt {
+		if v <= 0 {
+			return fmt.Errorf("machine: non-positive voltage at level %d", j)
+		}
+		if j > 0 && v > p.Volt[j-1] {
+			return fmt.Errorf("machine: voltage not non-increasing at level %d", j)
+		}
+	}
+	if p.Static <= 0 || p.DynCoeff <= 0 {
+		return fmt.Errorf("machine: static and dynamic coefficients must be positive")
+	}
+	if p.HaltFrac < 0 || p.HaltFrac > 1 {
+		return fmt.Errorf("machine: HaltFrac %g outside [0,1]", p.HaltFrac)
+	}
+	if p.Base < 0 {
+		return fmt.Errorf("machine: negative base power")
+	}
+	return nil
+}
+
+// CorePower returns the draw of a core in `state` clocked at frequency
+// level fLevel while its voltage plane sits at voltage level vLevel
+// (vLevel ≤ fLevel when a package peer demands a higher voltage).
+func (p PowerModel) CorePower(state CoreState, fLevel, vLevel int, freqs FreqLadder) float64 {
+	v := p.Volt[vLevel]
+	dyn := p.DynCoeff * freqs[fLevel] * v * v
+	if state == Halted {
+		return p.Static + p.HaltFrac*dyn
+	}
+	return p.Static + dyn
+}
+
+// Config describes a machine to simulate.
+type Config struct {
+	Name string
+	// Cores is the number of cores (m in the paper).
+	Cores int
+	// Freqs is the ladder F0..F(r-1) in GHz.
+	Freqs FreqLadder
+	// Power is the power model.
+	Power PowerModel
+	// PackageSize is the number of cores sharing a voltage plane.
+	// 1 disables coupling (fully independent per-core voltage).
+	PackageSize int
+	// DVFSLatency is the time (seconds) a core is unavailable while
+	// switching frequency. Real parts take tens of microseconds.
+	DVFSLatency float64
+}
+
+// Validate checks the whole configuration.
+func (c Config) Validate() error {
+	if c.Cores <= 0 {
+		return fmt.Errorf("machine: need at least one core, got %d", c.Cores)
+	}
+	if err := c.Freqs.Validate(); err != nil {
+		return err
+	}
+	if err := c.Power.Validate(len(c.Freqs)); err != nil {
+		return err
+	}
+	if c.PackageSize <= 0 {
+		return fmt.Errorf("machine: package size must be positive, got %d", c.PackageSize)
+	}
+	if c.DVFSLatency < 0 {
+		return fmt.Errorf("machine: negative DVFS latency")
+	}
+	return nil
+}
+
+// Opteron16 returns the paper's evaluation platform: 16 cores in four
+// 4-core packages at 2.5/1.8/1.3/0.8 GHz. The wattages are calibrated
+// so the *relative* behaviour (Cilk-D saves ~7–13 % over Cilk, EEWA up
+// to ~30 %) matches the published curves; see DESIGN.md §2.
+func Opteron16() Config {
+	freqs := FreqLadder{2.5, 1.8, 1.3, 0.8}
+	return Config{
+		Name:  "opteron16",
+		Cores: 16,
+		Freqs: freqs,
+		Power: PowerModel{
+			Static:   2.0,
+			DynCoeff: 12.0 / (2.5 * 1.30 * 1.30), // 12 W dynamic at F0
+			Volt:     []float64{1.30, 1.20, 1.10, 1.00},
+			HaltFrac: 0.15,
+			Base:     120.0,
+		},
+		PackageSize: 4,
+		DVFSLatency: 50e-6,
+	}
+}
+
+// Generic returns an Opteron-like machine with an arbitrary core count,
+// used by the Fig. 9 scalability sweep (4/8/12/16 cores).
+func Generic(cores int) Config {
+	c := Opteron16()
+	c.Name = fmt.Sprintf("generic%d", cores)
+	c.Cores = cores
+	return c
+}
+
+// Uncoupled returns the same machine with per-core voltage planes
+// (PackageSize 1) — the ablation knob for quantifying how much of
+// EEWA's advantage comes from package-aligned c-groups.
+func Uncoupled(cfg Config) Config {
+	cfg.Name = cfg.Name + "-uncoupled"
+	cfg.PackageSize = 1
+	return cfg
+}
+
+// Machine is the runtime state of the simulated hardware: per-core
+// frequency levels and activity states, with exact lazy energy
+// integration. All mutation goes through SetState/SetFreq so that every
+// interval is charged at the correct package-coupled power.
+//
+// A Machine is not safe for concurrent use; the discrete-event
+// simulator is single-threaded by design.
+type Machine struct {
+	Config Config
+
+	freqs  []int
+	states []CoreState
+
+	lastChange float64
+	coreEnergy []float64
+	busyTime   []float64
+	spinTime   []float64
+	haltTime   []float64
+
+	// DVFSTransitions counts frequency switches, for overhead
+	// reporting.
+	DVFSTransitions int
+}
+
+// New builds a machine in its initial state: every core Halted at F0 at
+// time 0. New panics on an invalid config, since an invalid machine
+// makes every downstream number meaningless.
+func New(cfg Config) *Machine {
+	if err := cfg.Validate(); err != nil {
+		panic("machine: " + err.Error())
+	}
+	n := cfg.Cores
+	m := &Machine{
+		Config:     cfg,
+		freqs:      make([]int, n),
+		states:     make([]CoreState, n),
+		coreEnergy: make([]float64, n),
+		busyTime:   make([]float64, n),
+		spinTime:   make([]float64, n),
+		haltTime:   make([]float64, n),
+	}
+	for i := range m.states {
+		m.states[i] = Halted
+	}
+	return m
+}
+
+// Freq returns core id's current frequency level.
+func (m *Machine) Freq(id int) int { return m.freqs[id] }
+
+// State returns core id's current activity state.
+func (m *Machine) State(id int) CoreState { return m.states[id] }
+
+// voltLevel returns the voltage level core id's plane sits at: the
+// minimum (fastest) frequency level among its package peers when
+// coupling is on, its own level otherwise.
+func (m *Machine) voltLevel(id int) int {
+	ps := m.Config.PackageSize
+	if ps <= 1 {
+		return m.freqs[id]
+	}
+	start := (id / ps) * ps
+	end := start + ps
+	if end > m.Config.Cores {
+		end = m.Config.Cores
+	}
+	lvl := m.freqs[start]
+	for c := start + 1; c < end; c++ {
+		if m.freqs[c] < lvl {
+			lvl = m.freqs[c]
+		}
+	}
+	return lvl
+}
+
+// PowerOf returns core id's current draw in watts.
+func (m *Machine) PowerOf(id int) float64 {
+	return m.Config.Power.CorePower(m.states[id], m.freqs[id], m.voltLevel(id), m.Config.Freqs)
+}
+
+// charge integrates every core's energy from lastChange to now at the
+// current powers and advances the timestamp. Whole-machine charging is
+// necessary because one core's frequency change can move its package
+// peers' voltage, hence their power.
+func (m *Machine) charge(now float64) {
+	dt := now - m.lastChange
+	if dt < 0 {
+		panic(fmt.Sprintf("machine: time went backwards (%g -> %g)", m.lastChange, now))
+	}
+	if dt == 0 {
+		return
+	}
+	for id := range m.freqs {
+		m.coreEnergy[id] += dt * m.PowerOf(id)
+		switch m.states[id] {
+		case Busy:
+			m.busyTime[id] += dt
+		case Spinning:
+			m.spinTime[id] += dt
+		case Halted:
+			m.haltTime[id] += dt
+		}
+	}
+	m.lastChange = now
+}
+
+// SetState moves core id to a new activity state at simulated time now.
+func (m *Machine) SetState(now float64, id int, s CoreState) {
+	m.charge(now)
+	m.states[id] = s
+}
+
+// SetFreq switches core id to frequency level j at time now, counting
+// the transition (no-op transitions are skipped, as real governors
+// do). The caller accounts for DVFS latency.
+func (m *Machine) SetFreq(now float64, id, j int) {
+	if j < 0 || j >= len(m.Config.Freqs) {
+		panic(fmt.Sprintf("machine: core %d set to invalid frequency level %d", id, j))
+	}
+	if m.freqs[id] == j {
+		return
+	}
+	m.charge(now)
+	m.freqs[id] = j
+	m.DVFSTransitions++
+}
+
+// EnergyAt returns whole-machine energy (joules) consumed up to
+// simulated time now: all cores plus the base draw — exactly what the
+// paper's wall power meter integrates.
+func (m *Machine) EnergyAt(now float64) float64 {
+	total := m.Config.Power.Base * now
+	total += m.CoreEnergyAt(now)
+	return total
+}
+
+// CoreEnergyAt returns the sum of per-core energies only (no base),
+// which isolates the CPU-side effect of a scheduling policy.
+func (m *Machine) CoreEnergyAt(now float64) float64 {
+	dt := now - m.lastChange
+	if dt < 0 {
+		panic(fmt.Sprintf("machine: energy queried in the past (%g < %g)", now, m.lastChange))
+	}
+	total := 0.0
+	for id := range m.freqs {
+		total += m.coreEnergy[id] + dt*m.PowerOf(id)
+	}
+	return total
+}
+
+// BusyTime returns the seconds core id has spent executing tasks, as of
+// the machine's last charge point.
+func (m *Machine) BusyTime(id int) float64 { return m.busyTime[id] }
+
+// SpinTime returns the seconds core id has spent in the steal loop.
+func (m *Machine) SpinTime(id int) float64 { return m.spinTime[id] }
+
+// HaltTime returns the seconds core id has spent parked.
+func (m *Machine) HaltTime(id int) float64 { return m.haltTime[id] }
+
+// TotalBusyTime sums BusyTime across cores.
+func (m *Machine) TotalBusyTime() float64 { return sum(m.busyTime) }
+
+// TotalSpinTime sums SpinTime across cores.
+func (m *Machine) TotalSpinTime() float64 { return sum(m.spinTime) }
+
+// TotalHaltTime sums HaltTime across cores.
+func (m *Machine) TotalHaltTime() float64 { return sum(m.haltTime) }
+
+func sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Sync charges the open interval so that the per-state time counters
+// are exact as of now (energy queries do this implicitly; time-counter
+// queries need an explicit sync).
+func (m *Machine) Sync(now float64) { m.charge(now) }
+
+// FreqCensus returns how many cores currently sit at each frequency
+// level — the quantity plotted per batch in the paper's Fig. 8.
+func (m *Machine) FreqCensus() []int {
+	census := make([]int, len(m.Config.Freqs))
+	for _, f := range m.freqs {
+		census[f]++
+	}
+	return census
+}

@@ -1,0 +1,209 @@
+package memmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/machine"
+	"repro/internal/profile"
+	"repro/internal/xrand"
+)
+
+var ladder = machine.FreqLadder{2.5, 1.8, 1.3, 0.8}
+
+// recordAt feeds the profiler n tasks of class name whose true
+// frequency response is t(ratio) = a + b·ratio, observed at level.
+func recordAt(p *profile.Profiler, name string, n int, a, b float64, level int) {
+	ratio := ladder.Ratio(level)
+	for i := 0; i < n; i++ {
+		p.Record(name, a+b*ratio, level, 0.5)
+	}
+}
+
+func TestFitExactTwoPoints(t *testing.T) {
+	p := profile.New(ladder)
+	a, b := 0.006, 0.004
+	recordAt(p, "c", 10, a, b, 0)
+	recordAt(p, "c", 10, a, b, 2)
+	m, ok := Fit(p, "c", ladder)
+	if !ok {
+		t.Fatal("fit failed with two levels")
+	}
+	if math.Abs(m.A-a) > 1e-12 || math.Abs(m.B-b) > 1e-12 {
+		t.Errorf("fit = (%g, %g), want (%g, %g)", m.A, m.B, a, b)
+	}
+	// Extrapolation to an unseen level must be exact for linear truth.
+	want := a + b*ladder.Ratio(3)
+	if got := m.TimeAt(ladder.Ratio(3)); math.Abs(got-want) > 1e-12 {
+		t.Errorf("TimeAt(F3) = %g, want %g", got, want)
+	}
+}
+
+func TestFitNeedsTwoLevels(t *testing.T) {
+	p := profile.New(ladder)
+	recordAt(p, "c", 10, 0.01, 0.01, 0)
+	if _, ok := Fit(p, "c", ladder); ok {
+		t.Error("fit must fail with a single frequency level")
+	}
+	if _, ok := Fit(p, "ghost", ladder); ok {
+		t.Error("fit must fail for unseen classes")
+	}
+}
+
+func TestFitClampsNegativeComponents(t *testing.T) {
+	p := profile.New(ladder)
+	// Pure CPU-bound class (a = 0): jitter-free samples.
+	recordAt(p, "cpu", 5, 0, 0.01, 0)
+	recordAt(p, "cpu", 5, 0, 0.01, 3)
+	m, ok := Fit(p, "cpu", ladder)
+	if !ok {
+		t.Fatal("fit failed")
+	}
+	if m.A < 0 || m.B < 0 {
+		t.Errorf("components must be non-negative: (%g, %g)", m.A, m.B)
+	}
+	if m.MemFraction() > 1e-9 {
+		t.Errorf("pure CPU class MemFraction = %g, want 0", m.MemFraction())
+	}
+	// Pure memory-bound class (b = 0).
+	recordAt(p, "mem", 5, 0.02, 0, 0)
+	recordAt(p, "mem", 5, 0.02, 0, 3)
+	m2, _ := Fit(p, "mem", ladder)
+	if math.Abs(m2.MemFraction()-1) > 1e-9 {
+		t.Errorf("pure memory class MemFraction = %g, want 1", m2.MemFraction())
+	}
+}
+
+func TestFitAll(t *testing.T) {
+	p := profile.New(ladder)
+	recordAt(p, "x", 8, 0.01, 0.02, 0)
+	recordAt(p, "x", 8, 0.01, 0.02, 2)
+	recordAt(p, "y", 16, 0.002, 0.001, 0)
+	recordAt(p, "y", 16, 0.002, 0.001, 2)
+	models, ok := FitAll(p, p.Classes(), ladder)
+	if !ok {
+		t.Fatal("FitAll failed")
+	}
+	if len(models) != 2 {
+		t.Fatalf("got %d models, want 2", len(models))
+	}
+	// Counts carried over from the classes.
+	for _, m := range models {
+		if m.Count == 0 {
+			t.Errorf("model %s has zero count", m.Name)
+		}
+		if m.MaxRatio < 1 {
+			t.Errorf("model %s MaxRatio %g < 1", m.Name, m.MaxRatio)
+		}
+	}
+	// One class short of samples fails the whole fit.
+	recordAt(p, "z", 4, 0.01, 0.01, 0)
+	if _, ok := FitAll(p, p.Classes(), ladder); ok {
+		t.Error("FitAll must fail when any class lacks a second level")
+	}
+}
+
+func TestBuildTableMemoryAware(t *testing.T) {
+	// A memory-bound class: a = 0.7·t0. At F3 (ratio 3.125), the
+	// CPU-bound model predicts t·3.125 but the true time is only
+	// t·(0.7 + 0.3·3.125) = 1.64·t — the model-aware table must demand
+	// correspondingly fewer cores.
+	t0 := 0.01
+	models := []Model{{Name: "m", A: 0.7 * t0, B: 0.3 * t0, Count: 100, MaxRatio: 1.0}}
+	T := 0.1
+	tab, err := BuildTable(models, ladder, T, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CC at F0: ceil(100·0.01/0.1) = 10.
+	if tab.CC[0][0] != 10 {
+		t.Errorf("CC[0][0] = %d, want 10", tab.CC[0][0])
+	}
+	// CC at F3 with the true response: ceil(100·0.016375/0.1) = 17,
+	// versus 32 under the naive CPU-bound scaling.
+	wantT := 0.7*t0 + 0.3*t0*ladder.Ratio(3)
+	wantCC := int(math.Ceil(100 * wantT / T))
+	if tab.CC[3][0] != wantCC {
+		t.Errorf("CC[3][0] = %d, want %d (model-corrected)", tab.CC[3][0], wantCC)
+	}
+	naive := int(math.Ceil(100 * t0 * ladder.Ratio(3) / T))
+	if tab.CC[3][0] >= naive {
+		t.Errorf("model-corrected count %d should undercut naive %d", tab.CC[3][0], naive)
+	}
+}
+
+func TestBuildTableGranularityBar(t *testing.T) {
+	// Single chunky task per batch whose F3 time exceeds T: level 3
+	// must be barred (sentinel > maxCores).
+	models := []Model{{Name: "m", A: 0, B: 0.05, Count: 1, MaxRatio: 1.0}}
+	tab, err := BuildTable(models, ladder, 0.06, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.CC[0][0] != 1 {
+		t.Errorf("CC[0][0] = %d, want 1", tab.CC[0][0])
+	}
+	if tab.CC[3][0] <= 16 {
+		t.Errorf("CC[3][0] = %d, want sentinel (task cannot fit at F3)", tab.CC[3][0])
+	}
+}
+
+func TestBuildTableErrors(t *testing.T) {
+	if _, err := BuildTable(nil, ladder, 1, 16); err == nil {
+		t.Error("no models should error")
+	}
+	m := []Model{{Name: "m", A: 0.1, B: 0.1, Count: 1, MaxRatio: 1}}
+	if _, err := BuildTable(m, ladder, 0, 16); err == nil {
+		t.Error("zero T should error")
+	}
+	if _, err := BuildTable(m, ladder, 1, 0); err == nil {
+		t.Error("zero cores should error")
+	}
+	unsorted := []Model{
+		{Name: "small", A: 0.001, B: 0.001, Count: 1, MaxRatio: 1},
+		{Name: "big", A: 0.1, B: 0.1, Count: 1, MaxRatio: 1},
+	}
+	if _, err := BuildTable(unsorted, ladder, 1, 16); err == nil {
+		t.Error("unsorted models should error")
+	}
+}
+
+// Property: for any (a, b) ≥ 0 and any pair of distinct levels, Fit
+// recovers the coefficients and table entries are monotone down the
+// ladder.
+func TestFitRecoveryProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		a := rng.Range(0, 0.02)
+		b := rng.Range(0.001, 0.02)
+		l1 := rng.Intn(len(ladder))
+		l2 := rng.Intn(len(ladder))
+		if l1 == l2 {
+			l2 = (l1 + 1) % len(ladder)
+		}
+		p := profile.New(ladder)
+		recordAt(p, "c", 5, a, b, l1)
+		recordAt(p, "c", 5, a, b, l2)
+		m, ok := Fit(p, "c", ladder)
+		if !ok {
+			return false
+		}
+		if math.Abs(m.A-a) > 1e-9 || math.Abs(m.B-b) > 1e-9 {
+			return false
+		}
+		tab, err := BuildTable([]Model{{Name: "c", A: a, B: b, Count: 50, MaxRatio: 1}}, ladder, 1.0, 64)
+		if err != nil {
+			return false
+		}
+		for j := 1; j < len(ladder); j++ {
+			if tab.CC[j][0] < tab.CC[j-1][0] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,224 @@
+// Package profile implements EEWA's online profiler (paper §III-A-1).
+//
+// During each batch the scheduler reports every completed task's
+// execution time together with the frequency level of the core that ran
+// it. The profiler normalizes the time against the fastest frequency
+// (Eq. 1: w = t · Fi/F0), then folds the task into its *task class*
+// TC(f, n, w), keyed by function name, maintaining the running average
+// workload exactly as the paper specifies:
+//
+//	TC(f, n, w)  +  task with workload wγ  →  TC(f, n+1, (n·w + wγ)/(n+1))
+//
+// The profiler also mirrors the paper's §IV-D memory-boundness test: it
+// accumulates a modeled cache-miss-per-instruction counter for each
+// task and labels a task memory-bound when the intensity exceeds a
+// threshold; an application is memory-bound when most of its first-batch
+// tasks are.
+package profile
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/machine"
+)
+
+// DefaultMemBoundThreshold is the cache-miss-intensity above which a
+// task counts as memory-bound. The paper leaves the constant to the
+// implementation ("larger than a given threshold"); 0.01
+// misses/instruction ≈ an LLC-miss-dominated task on the modeled parts.
+const DefaultMemBoundThreshold = 0.01
+
+// Class is a task class TC(f, n, w): function name, task count and
+// average normalized workload (seconds at F0). MaxWork additionally
+// tracks the largest single normalized workload seen — the quantity
+// that bounds how far the class can be down-clocked before one task no
+// longer fits in the ideal iteration time (task indivisibility; see
+// cctable.BuildGranular).
+type Class struct {
+	Name    string  `json:"name"`
+	Count   int     `json:"count"`
+	AvgWork float64 `json:"avg_work_s"`
+	MaxWork float64 `json:"max_work_s"`
+}
+
+// TotalWork returns n·w, the class's aggregate workload — the numerator
+// of every CC-table entry.
+func (c Class) TotalWork() float64 { return float64(c.Count) * c.AvgWork }
+
+// rawStats accumulates un-normalized execution times per frequency
+// level for one class — the inputs of the memory-bound frequency-
+// response model (§IV-D future work, implemented in internal/memmodel).
+type rawStats struct {
+	sum   []float64
+	count []int
+}
+
+// Profiler collects per-batch workload information. It is not
+// concurrency-safe by itself; the simulator is single-threaded and the
+// live runtime wraps it in a mutex at its sync point.
+type Profiler struct {
+	ladder  machine.FreqLadder
+	classes map[string]*Class
+	order   []string // first-seen order, for deterministic iteration
+	raw     map[string]*rawStats
+
+	// memory-boundness bookkeeping
+	memBoundThreshold float64
+	memBoundTasks     int
+	totalTasks        int
+}
+
+// New creates a profiler for a machine with the given frequency ladder.
+func New(ladder machine.FreqLadder) *Profiler {
+	if err := ladder.Validate(); err != nil {
+		panic("profile: " + err.Error())
+	}
+	return &Profiler{
+		ladder:            ladder,
+		classes:           make(map[string]*Class),
+		raw:               make(map[string]*rawStats),
+		memBoundThreshold: DefaultMemBoundThreshold,
+	}
+}
+
+// SetMemBoundThreshold overrides the memory-bound cutoff (for tests and
+// sensitivity studies).
+func (p *Profiler) SetMemBoundThreshold(v float64) { p.memBoundThreshold = v }
+
+// Normalize applies Eq. 1: a task that took t seconds on a core at
+// frequency level j has workload t · Fj/F0 (its hypothetical time on
+// the fastest core, assuming CPU-bound behaviour).
+func (p *Profiler) Normalize(t float64, level int) float64 {
+	if level < 0 || level >= len(p.ladder) {
+		panic(fmt.Sprintf("profile: invalid frequency level %d", level))
+	}
+	return t * p.ladder[level] / p.ladder[0]
+}
+
+// Record folds one completed task into its class. execTime is the
+// observed wall time on a core at frequency level `level`;
+// missIntensity is the modeled cache-misses-per-instruction counter.
+func (p *Profiler) Record(name string, execTime float64, level int, missIntensity float64) {
+	if execTime < 0 {
+		panic(fmt.Sprintf("profile: negative execution time %g", execTime))
+	}
+	w := p.Normalize(execTime, level)
+	c, ok := p.classes[name]
+	if !ok {
+		c = &Class{Name: name}
+		p.classes[name] = c
+		p.order = append(p.order, name)
+	}
+	// Running-average update, exactly TC(f, n+1, (n·w + wγ)/(n+1)).
+	c.AvgWork = (float64(c.Count)*c.AvgWork + w) / float64(c.Count+1)
+	c.Count++
+	if w > c.MaxWork {
+		c.MaxWork = w
+	}
+
+	rs, ok := p.raw[name]
+	if !ok {
+		rs = &rawStats{sum: make([]float64, len(p.ladder)), count: make([]int, len(p.ladder))}
+		p.raw[name] = rs
+	}
+	rs.sum[level] += execTime
+	rs.count[level]++
+
+	p.totalTasks++
+	if missIntensity > p.memBoundThreshold {
+		p.memBoundTasks++
+	}
+}
+
+// Classes returns the current task classes sorted by descending average
+// workload (the order the CC table requires: w_i descending), breaking
+// ties by first-seen order so results are deterministic.
+func (p *Profiler) Classes() []Class {
+	out := make([]Class, 0, len(p.classes))
+	seen := map[string]int{}
+	for i, name := range p.order {
+		seen[name] = i
+		out = append(out, *p.classes[name])
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].AvgWork != out[j].AvgWork {
+			return out[i].AvgWork > out[j].AvgWork
+		}
+		return seen[out[i].Name] < seen[out[j].Name]
+	})
+	return out
+}
+
+// Lookup returns the class for a function name, if the profiler has
+// seen it.
+func (p *Profiler) Lookup(name string) (Class, bool) {
+	c, ok := p.classes[name]
+	if !ok {
+		return Class{}, false
+	}
+	return *c, true
+}
+
+// NumClasses returns k, the number of distinct task classes seen.
+func (p *Profiler) NumClasses() int { return len(p.classes) }
+
+// TotalTasks returns how many task completions have been recorded.
+func (p *Profiler) TotalTasks() int { return p.totalTasks }
+
+// MemoryBound reports whether the application should be treated as
+// memory-bound: the paper's rule is "if most tasks of an application
+// are memory-bound" — we use a strict majority.
+func (p *Profiler) MemoryBound() bool {
+	return p.totalTasks > 0 && p.memBoundTasks*2 > p.totalTasks
+}
+
+// MemoryBoundFraction returns the fraction of recorded tasks labelled
+// memory-bound, for reporting.
+func (p *Profiler) MemoryBoundFraction() float64 {
+	if p.totalTasks == 0 {
+		return 0
+	}
+	return float64(p.memBoundTasks) / float64(p.totalTasks)
+}
+
+// Reset clears per-batch state. EEWA re-profiles every batch (workloads
+// drift between iterations), so the scheduler calls Reset at each batch
+// barrier after the adjuster has consumed the classes. Memory-bound
+// counters persist: the paper classifies the application once, from the
+// first batch.
+func (p *Profiler) Reset() {
+	p.classes = make(map[string]*Class)
+	p.order = p.order[:0]
+	// Raw per-level observations persist across batches: the memory-
+	// bound frequency-response model needs samples from *different*
+	// batches (each run at different levels) to fit its two
+	// coefficients.
+}
+
+// RawAvg returns the average un-normalized execution time of class
+// `name` on cores at frequency level `level`, and whether any sample
+// exists. Unlike Classes, raw observations accumulate across batches.
+func (p *Profiler) RawAvg(name string, level int) (float64, bool) {
+	rs, ok := p.raw[name]
+	if !ok || level < 0 || level >= len(p.ladder) || rs.count[level] == 0 {
+		return 0, false
+	}
+	return rs.sum[level] / float64(rs.count[level]), true
+}
+
+// RawLevels returns the frequency levels at which class `name` has
+// been observed, in ascending order.
+func (p *Profiler) RawLevels(name string) []int {
+	rs, ok := p.raw[name]
+	if !ok {
+		return nil
+	}
+	var out []int
+	for lvl, n := range rs.count {
+		if n > 0 {
+			out = append(out, lvl)
+		}
+	}
+	return out
+}

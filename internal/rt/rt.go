@@ -1,0 +1,357 @@
+// Package rt is the live work-stealing runtime: EEWA's scheduling
+// algorithms running on real goroutines with lock-free Chase–Lev
+// deques, executing real task payloads (e.g. the internal/kernels
+// compressors and hashes).
+//
+// Real DVFS needs root access and specific hardware, and Go cannot pin
+// goroutines to cores, so the runtime emulates frequency scaling with
+// *duty-cycle throttling*: a worker logically clocked at Fj runs each
+// payload at native speed and then idles for (F0/Fj − 1)× the measured
+// run time, making its effective throughput Fj/F0 of a full-speed
+// worker. Everything the paper's scheduler observes — execution times,
+// Eq. 1 normalization, class profiles, CC tables, c-groups, preference
+// stealing — is then exercised for real, under true concurrency.
+// Energy is accounted from the same power model the simulator uses,
+// integrated over measured wall time per (state, level).
+//
+// The runtime is batch-structured like the paper's programs:
+//
+//	rt, _ := rt.New(cfg)
+//	for i := 0; i < batches; i++ {
+//	    stats := rt.RunBatch(tasks)   // blocks until the barrier
+//	}
+//	total := rt.Stats()
+package rt
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cgroup"
+	"repro/internal/core"
+	"repro/internal/deque"
+	"repro/internal/machine"
+	"repro/internal/profile"
+	"repro/internal/xrand"
+)
+
+// Task is one unit of live work.
+type Task struct {
+	// Class is the function name used for task-class profiling.
+	Class string
+	// Run is the payload, executed exactly once.
+	Run func()
+}
+
+// Policy selects the scheduling discipline.
+type Policy int
+
+const (
+	// PolicyCilk: classic random stealing, all workers at full speed.
+	PolicyCilk Policy = iota
+	// PolicyEEWA: the paper's scheduler — profile, adjust virtual
+	// frequencies per batch, preference stealing.
+	PolicyEEWA
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case PolicyCilk:
+		return "cilk"
+	case PolicyEEWA:
+		return "eewa"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Config configures a Runtime.
+type Config struct {
+	// Workers is the number of worker goroutines ("cores").
+	Workers int
+	// Machine supplies the frequency ladder and power model; its core
+	// count is overridden by Workers.
+	Machine machine.Config
+	// Policy selects Cilk or EEWA behaviour.
+	Policy Policy
+	// Seed drives victim selection.
+	Seed uint64
+}
+
+// BatchStats summarizes one batch.
+type BatchStats struct {
+	// Wall is the batch's wall-clock duration.
+	Wall time.Duration
+	// Tasks is the number of tasks executed.
+	Tasks int
+	// Census is the number of workers at each frequency level.
+	Census []int
+	// Steals counts non-local task acquisitions.
+	Steals int
+	// Energy is the modeled energy for the batch (joules).
+	Energy float64
+}
+
+// RunStats accumulates across batches.
+type RunStats struct {
+	Batches int
+	Tasks   int
+	Wall    time.Duration
+	Energy  float64
+	Steals  int
+}
+
+// Runtime executes batches of tasks under a policy.
+type Runtime struct {
+	cfg    Config
+	ladder machine.FreqLadder
+	prof   *profile.Profiler
+	profMu sync.Mutex
+
+	levels []int // per-worker frequency level for the current batch
+	asn    *cgroup.Assignment
+
+	adj        *core.Adjuster
+	batchIndex int
+	idealTime  time.Duration
+
+	stats RunStats
+}
+
+// New validates cfg and builds a runtime. Workers must be ≥ 1.
+func New(cfg Config) (*Runtime, error) {
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("rt: need at least one worker, got %d", cfg.Workers)
+	}
+	mc := cfg.Machine
+	mc.Cores = cfg.Workers
+	if err := mc.Validate(); err != nil {
+		return nil, fmt.Errorf("rt: %w", err)
+	}
+	cfg.Machine = mc
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	r := &Runtime{
+		cfg:    cfg,
+		ladder: mc.Freqs,
+		prof:   profile.New(mc.Freqs),
+		levels: make([]int, cfg.Workers),
+		asn:    cgroup.AllFast(cfg.Workers, nil),
+	}
+	return r, nil
+}
+
+// Stats returns the accumulated run statistics.
+func (r *Runtime) Stats() RunStats { return r.stats }
+
+// Census returns the current per-level worker counts.
+func (r *Runtime) Census() []int {
+	census := make([]int, len(r.ladder))
+	for _, l := range r.levels {
+		census[l]++
+	}
+	return census
+}
+
+// RunBatch executes one batch of tasks and blocks until all complete.
+// Between batches (when Policy is EEWA) it runs the workload-aware
+// frequency adjuster on the previous batch's profile.
+func (r *Runtime) RunBatch(tasks []Task) BatchStats {
+	if len(tasks) == 0 {
+		return BatchStats{Census: r.Census()}
+	}
+	r.plan()
+
+	n := r.cfg.Workers
+	u := r.asn.U()
+	pools := make([][]*deque.Chase[*Task], n)
+	for w := 0; w < n; w++ {
+		pools[w] = make([]*deque.Chase[*Task], u)
+		for g := 0; g < u; g++ {
+			pools[w][g] = deque.NewChase[*Task]()
+		}
+	}
+
+	// Placement: by class (over the class's reserved placement cores)
+	// under EEWA after the first batch, round-robin otherwise.
+	nextByClass := map[string]int{}
+	nextRR := make([]int, u)
+	for i := range tasks {
+		t := &tasks[i]
+		if r.cfg.Policy == PolicyEEWA && r.batchIndex > 0 {
+			g := r.asn.GroupOfClass(t.Class)
+			members := r.asn.PlacementCores(t.Class)
+			w := members[nextByClass[t.Class]%len(members)]
+			nextByClass[t.Class]++
+			pools[w][g].PushBottom(t)
+			continue
+		}
+		g := r.asn.CoreGroup[i%n]
+		members := r.asn.Groups[g].Cores
+		w := members[nextRR[g]%len(members)]
+		nextRR[g]++
+		pools[w][g].PushBottom(t)
+	}
+
+	prefs := cgroup.PreferenceLists(u)
+	var (
+		steals atomic.Int64
+		remain atomic.Int64
+		busyNS = make([]atomic.Int64, n)
+		spinNS = make([]atomic.Int64, n)
+	)
+	remain.Store(int64(len(tasks)))
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := xrand.New(r.cfg.Seed + uint64(id)*0x9E3779B97F4A7C15 + uint64(r.batchIndex))
+			myG := r.asn.CoreGroup[id]
+			level := r.levels[id]
+			ratio := r.ladder.Ratio(level)
+			spinStart := time.Now()
+			for remain.Load() > 0 {
+				t, stolen := acquire(pools, prefs, id, myG, rng, r.cfg.Policy == PolicyCilk, r.asn)
+				if t == nil {
+					// Nothing visible right now; other workers may
+					// still hold unfinished tasks but pools only
+					// drain, so yield briefly and re-check remain.
+					time.Sleep(20 * time.Microsecond)
+					continue
+				}
+				if stolen {
+					steals.Add(1)
+				}
+				spinNS[id].Add(int64(time.Since(spinStart)))
+
+				t0 := time.Now()
+				t.Run()
+				dur := time.Since(t0)
+				// Duty-cycle throttle: stretch to dur × F0/Flevel.
+				if ratio > 1 {
+					time.Sleep(time.Duration(float64(dur) * (ratio - 1)))
+				}
+				wall := time.Duration(float64(dur) * ratio)
+				busyNS[id].Add(int64(wall))
+
+				r.profMu.Lock()
+				r.prof.Record(t.Class, wall.Seconds(), level, 0)
+				r.profMu.Unlock()
+
+				remain.Add(-1)
+				spinStart = time.Now()
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	// Energy accounting from the shared power model: busy and spin at
+	// the worker's level, the barrier-wait remainder as halted.
+	pm := r.cfg.Machine.Power
+	energy := pm.Base * wall.Seconds()
+	for w := 0; w < n; w++ {
+		level := r.levels[w]
+		busy := time.Duration(busyNS[w].Load()).Seconds()
+		spin := time.Duration(spinNS[w].Load()).Seconds()
+		halt := wall.Seconds() - busy - spin
+		if halt < 0 {
+			halt = 0
+		}
+		// The live runtime has no package topology: use own-level
+		// voltage (PackageSize 1 semantics).
+		energy += busy * pm.CorePower(machine.Busy, level, level, r.ladder)
+		energy += spin * pm.CorePower(machine.Spinning, level, level, r.ladder)
+		energy += halt * pm.CorePower(machine.Halted, level, level, r.ladder)
+	}
+
+	if r.batchIndex == 0 {
+		r.idealTime = wall
+	}
+	r.batchIndex++
+
+	bs := BatchStats{
+		Wall:   wall,
+		Tasks:  len(tasks),
+		Census: r.Census(),
+		Steals: int(steals.Load()),
+		Energy: energy,
+	}
+	r.stats.Batches++
+	r.stats.Tasks += len(tasks)
+	r.stats.Wall += wall
+	r.stats.Energy += energy
+	r.stats.Steals += bs.Steals
+	return bs
+}
+
+// plan runs the frequency adjuster before a batch (EEWA only).
+func (r *Runtime) plan() {
+	n := r.cfg.Workers
+	if r.adj == nil {
+		adj, err := core.NewAdjuster(r.ladder, n)
+		if err != nil {
+			panic("rt: " + err.Error()) // config validated in New
+		}
+		r.adj = adj
+	}
+	if r.cfg.Policy != PolicyEEWA || r.batchIndex == 0 || r.idealTime <= 0 {
+		r.asn = r.adj.AllFast()
+		r.applyLevels()
+		r.prof.Reset()
+		return
+	}
+	r.profMu.Lock()
+	classes := r.prof.Classes()
+	r.prof.Reset()
+	r.profMu.Unlock()
+	asn, _ := r.adj.Adjust(classes, r.idealTime.Seconds())
+	r.asn = asn
+	r.applyLevels()
+}
+
+func (r *Runtime) applyLevels() {
+	for w := range r.levels {
+		r.levels[w] = r.asn.FreqOf(w)
+	}
+}
+
+// acquire finds the next task for worker id: local pool, then steals
+// per the discipline. Returns nil when every reachable pool is empty
+// right now.
+func acquire(pools [][]*deque.Chase[*Task], prefs [][]int, id, myG int, rng *xrand.RNG, random bool, asn *cgroup.Assignment) (*Task, bool) {
+	if t, ok := pools[id][myG].PopBottom(); ok {
+		return t, false
+	}
+	if random {
+		order := rng.Perm(len(pools))
+		for _, v := range order {
+			if v == id {
+				continue
+			}
+			if t, ok := pools[v][asn.CoreGroup[v]].Steal(); ok {
+				return t, true
+			}
+		}
+		return nil, false
+	}
+	for _, g := range prefs[myG] {
+		order := rng.Perm(len(pools))
+		for _, v := range order {
+			if v == id && g == myG {
+				continue
+			}
+			if t, ok := pools[v][g].Steal(); ok {
+				return t, true
+			}
+		}
+	}
+	return nil, false
+}

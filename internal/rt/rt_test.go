@@ -1,0 +1,198 @@
+package rt
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/machine"
+)
+
+func testConfig(workers int, p Policy) Config {
+	return Config{
+		Workers: workers,
+		Machine: machine.Opteron16(),
+		Policy:  p,
+		Seed:    7,
+	}
+}
+
+// spinFor burns CPU for roughly d (wall-clock busy loop — payloads
+// must be CPU-bound for the throttle emulation to mean anything).
+func spinFor(d time.Duration) func() {
+	return func() {
+		end := time.Now().Add(d)
+		x := uint64(1)
+		for time.Now().Before(end) {
+			for i := 0; i < 1000; i++ {
+				x = x*6364136223846793005 + 1442695040888963407
+			}
+		}
+		_ = x
+	}
+}
+
+// makeBatch builds a two-class batch: a few chunky tasks and many tiny
+// ones, counting executions.
+func makeBatch(counter *atomic.Int64, heavy, light int, heavyDur, lightDur time.Duration) []Task {
+	var tasks []Task
+	for i := 0; i < heavy; i++ {
+		run := spinFor(heavyDur)
+		tasks = append(tasks, Task{Class: "heavy", Run: func() { run(); counter.Add(1) }})
+	}
+	for i := 0; i < light; i++ {
+		run := spinFor(lightDur)
+		tasks = append(tasks, Task{Class: "light", Run: func() { run(); counter.Add(1) }})
+	}
+	return tasks
+}
+
+func TestNewValidates(t *testing.T) {
+	if _, err := New(Config{Workers: 0, Machine: machine.Opteron16()}); err == nil {
+		t.Error("zero workers should error")
+	}
+	bad := machine.Opteron16()
+	bad.Freqs = nil
+	if _, err := New(Config{Workers: 2, Machine: bad}); err == nil {
+		t.Error("invalid machine should error")
+	}
+}
+
+func TestAllTasksExecuteOnce(t *testing.T) {
+	for _, p := range []Policy{PolicyCilk, PolicyEEWA} {
+		t.Run(p.String(), func(t *testing.T) {
+			r, err := New(testConfig(4, p))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var count atomic.Int64
+			for b := 0; b < 3; b++ {
+				tasks := makeBatch(&count, 2, 14, 2*time.Millisecond, 200*time.Microsecond)
+				bs := r.RunBatch(tasks)
+				if bs.Tasks != 16 {
+					t.Fatalf("batch %d reported %d tasks", b, bs.Tasks)
+				}
+				if bs.Wall <= 0 || bs.Energy <= 0 {
+					t.Fatalf("batch %d: wall %v energy %g", b, bs.Wall, bs.Energy)
+				}
+			}
+			if got := count.Load(); got != 48 {
+				t.Fatalf("%d task executions, want 48", got)
+			}
+			st := r.Stats()
+			if st.Batches != 3 || st.Tasks != 48 {
+				t.Errorf("stats %+v", st)
+			}
+		})
+	}
+}
+
+func TestEmptyBatch(t *testing.T) {
+	r, err := New(testConfig(2, PolicyCilk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := r.RunBatch(nil)
+	if bs.Tasks != 0 || bs.Wall != 0 {
+		t.Errorf("empty batch stats %+v", bs)
+	}
+}
+
+func TestCilkStaysFullSpeed(t *testing.T) {
+	r, err := New(testConfig(4, PolicyCilk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var count atomic.Int64
+	for b := 0; b < 3; b++ {
+		r.RunBatch(makeBatch(&count, 2, 14, time.Millisecond, 100*time.Microsecond))
+		census := r.Census()
+		if census[0] != 4 {
+			t.Fatalf("batch %d census %v — Cilk must stay at F0", b, census)
+		}
+	}
+}
+
+func TestEEWADownscalesSkewedWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-dependent in -short mode")
+	}
+	// 8 workers, 2 chunky tasks + many tiny ones: after profiling, the
+	// adjuster should put the light class on slow virtual cores.
+	r, err := New(testConfig(8, PolicyEEWA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var count atomic.Int64
+	downscaled := false
+	for b := 0; b < 5; b++ {
+		bs := r.RunBatch(makeBatch(&count, 2, 30, 8*time.Millisecond, 150*time.Microsecond))
+		if b >= 1 {
+			slow := 0
+			for lvl := 1; lvl < len(bs.Census); lvl++ {
+				slow += bs.Census[lvl]
+			}
+			if slow > 0 {
+				downscaled = true
+			}
+		}
+	}
+	if !downscaled {
+		t.Error("EEWA never downscaled any worker on a skewed workload")
+	}
+	// First batch must have been all-fast.
+}
+
+func TestFirstBatchAllFast(t *testing.T) {
+	r, err := New(testConfig(4, PolicyEEWA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var count atomic.Int64
+	bs := r.RunBatch(makeBatch(&count, 1, 7, time.Millisecond, 100*time.Microsecond))
+	if bs.Census[0] != 4 {
+		t.Errorf("first batch census %v, want all at F0", bs.Census)
+	}
+}
+
+func TestStealsHappen(t *testing.T) {
+	r, err := New(testConfig(4, PolicyCilk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var count atomic.Int64
+	total := 0
+	for b := 0; b < 3; b++ {
+		bs := r.RunBatch(makeBatch(&count, 4, 28, time.Millisecond, 100*time.Microsecond))
+		total += bs.Steals
+	}
+	if total == 0 {
+		t.Error("no steals across 3 batches of 32 tasks on 4 workers")
+	}
+}
+
+func TestEnergyAccountingSane(t *testing.T) {
+	r, err := New(testConfig(4, PolicyCilk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var count atomic.Int64
+	bs := r.RunBatch(makeBatch(&count, 2, 6, time.Millisecond, 500*time.Microsecond))
+	// Energy must at least cover base power over the wall time and at
+	// most full machine power over the wall time.
+	pm := r.cfg.Machine.Power
+	lo := pm.Base * bs.Wall.Seconds()
+	hi := (pm.Base + float64(r.cfg.Workers)*pm.CorePower(machine.Busy, 0, 0, r.ladder)) * bs.Wall.Seconds() * 1.01
+	if bs.Energy < lo || bs.Energy > hi {
+		t.Errorf("energy %g outside [%g, %g]", bs.Energy, lo, hi)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if PolicyCilk.String() != "cilk" || PolicyEEWA.String() != "eewa" {
+		t.Error("policy labels wrong")
+	}
+	if Policy(9).String() == "" {
+		t.Error("unknown policy should stringify")
+	}
+}

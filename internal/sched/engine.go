@@ -1,0 +1,316 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/cgroup"
+	"repro/internal/event"
+	"repro/internal/machine"
+	"repro/internal/profile"
+	"repro/internal/task"
+	"repro/internal/xrand"
+)
+
+// pool is a simulated task pool: the owner pops from the back (LIFO),
+// thieves steal from the front (FIFO), matching the deque semantics of
+// the live runtime.
+type pool struct {
+	items []*task.Task
+}
+
+func (p *pool) push(t *task.Task) { p.items = append(p.items, t) }
+
+func (p *pool) popBottom() *task.Task {
+	n := len(p.items)
+	if n == 0 {
+		return nil
+	}
+	t := p.items[n-1]
+	p.items[n-1] = nil
+	p.items = p.items[:n-1]
+	return t
+}
+
+func (p *pool) stealTop() *task.Task {
+	if len(p.items) == 0 {
+		return nil
+	}
+	t := p.items[0]
+	p.items[0] = nil
+	p.items = p.items[1:]
+	return t
+}
+
+func (p *pool) empty() bool { return len(p.items) == 0 }
+
+// engine executes one workload under one policy.
+type engine struct {
+	cfg    machine.Config
+	m      *machine.Machine
+	q      *event.Queue
+	prof   *profile.Profiler
+	policy Policy
+	params Params
+
+	// pools[core][group] — recreated per batch (u may change).
+	pools [][]pool
+	asn   *cgroup.Assignment
+	plan  Plan
+	prefs [][]int // preference list per group
+
+	victimRNG []*xrand.RNG // per-core victim selection streams
+
+	remaining      int
+	lastCompletion float64
+	batchStart     float64
+
+	res *Result
+}
+
+// Run simulates workload w on machine cfg under policy p and returns
+// the full Result. It validates its inputs and is deterministic for a
+// given params.Seed.
+func Run(cfg machine.Config, w *task.Workload, p Policy, params Params) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	params = params.withDefaults()
+
+	e := &engine{
+		cfg:    cfg,
+		m:      machine.New(cfg),
+		q:      event.New(),
+		prof:   profile.New(cfg.Freqs),
+		policy: p,
+		params: params,
+		res:    &Result{Policy: p.Name(), Workload: w.Name},
+	}
+	e.victimRNG = make([]*xrand.RNG, cfg.Cores)
+	seedRNG := xrand.New(params.Seed)
+	for c := range e.victimRNG {
+		e.victimRNG[c] = seedRNG.Split()
+	}
+
+	env := &Env{Cfg: cfg, AdjusterCharge: params.AdjusterCharge}
+	for bi := range w.Batches {
+		if err := e.runBatch(bi, &w.Batches[bi], env); err != nil {
+			return nil, err
+		}
+		if bi == 0 {
+			env.IdealTime = e.res.BatchTimes[0]
+		}
+	}
+
+	now := e.q.Now()
+	e.m.Sync(now)
+	e.res.Makespan = now
+	e.res.Energy = e.m.EnergyAt(now)
+	e.res.CoreEnergy = e.m.CoreEnergyAt(now)
+	e.res.BusyTime = e.m.TotalBusyTime()
+	e.res.SpinTime = e.m.TotalSpinTime()
+	e.res.HaltTime = e.m.TotalHaltTime()
+	e.res.DVFSTransitions = e.m.DVFSTransitions
+	e.res.MemoryBound = e.prof.MemoryBound()
+	if len(e.res.BatchTimes) > 0 && e.prof.NumClasses() > 0 {
+		e.res.Profile = e.prof.Snapshot(e.res.BatchTimes[0])
+	}
+	return e.res, nil
+}
+
+// runBatch plans, places and executes one batch.
+func (e *engine) runBatch(bi int, b *task.Batch, env *Env) error {
+	now := e.q.Now()
+
+	// Barrier: everyone parks while the plan is computed.
+	for c := 0; c < e.cfg.Cores; c++ {
+		e.m.SetState(now, c, machine.Halted)
+	}
+
+	plan := e.policy.BeginBatch(bi, e.prof, env)
+	if plan.Assignment == nil {
+		return fmt.Errorf("sched: policy %s returned nil assignment for batch %d", e.policy.Name(), bi)
+	}
+	if err := plan.Assignment.Validate(e.cfg.Cores, len(e.cfg.Freqs)); err != nil {
+		return fmt.Errorf("sched: policy %s batch %d: %w", e.policy.Name(), bi, err)
+	}
+	e.prof.Reset()
+	e.plan = plan
+	e.asn = plan.Assignment
+	e.prefs = cgroup.PreferenceLists(e.asn.U())
+	e.res.AdjusterSimTime += plan.Overhead
+	e.res.AdjusterHostTime += plan.HostTime
+
+	// Charge the adjuster overhead: the master computes, workers spin
+	// at the barrier (the conservative choice — it prices EEWA's
+	// bookkeeping at full burn).
+	if plan.Overhead > 0 {
+		for c := 0; c < e.cfg.Cores; c++ {
+			e.m.SetState(now, c, machine.Spinning)
+		}
+		now += plan.Overhead
+	}
+
+	// Apply the frequency configuration; one DVFS latency window if
+	// anything changed (switches happen in parallel across cores).
+	changed := false
+	for c := 0; c < e.cfg.Cores; c++ {
+		lvl := e.asn.FreqOf(c)
+		if e.m.Freq(c) != lvl {
+			e.m.SetFreq(now, c, lvl)
+			changed = true
+		}
+	}
+	if changed && e.cfg.DVFSLatency > 0 {
+		for c := 0; c < e.cfg.Cores; c++ {
+			e.m.SetState(now, c, machine.Halted)
+		}
+		now += e.cfg.DVFSLatency
+	}
+
+	e.res.BatchCensus = append(e.res.BatchCensus, e.m.FreqCensus())
+
+	e.place(b)
+	e.remaining = len(b.Tasks)
+	e.batchStart = now
+	e.lastCompletion = now
+
+	for c := 0; c < e.cfg.Cores; c++ {
+		c := c
+		e.q.At(now, func() { e.coreFree(c) })
+	}
+	e.q.Run()
+
+	e.res.BatchTimes = append(e.res.BatchTimes, e.lastCompletion-e.batchStart)
+	if e.remaining != 0 {
+		return fmt.Errorf("sched: batch %d finished with %d tasks unexecuted", bi, e.remaining)
+	}
+	// Advance the clock to the barrier (the queue's clock stops at the
+	// last event, which is the final core going idle ≈ lastCompletion).
+	if _, ok := e.q.NextTime(); ok {
+		panic("sched: events left after batch drain")
+	}
+	e.q.RunUntil(e.lastCompletion)
+	return nil
+}
+
+// place distributes the batch's tasks into pools per the plan.
+func (e *engine) place(b *task.Batch) {
+	m, u := e.cfg.Cores, e.asn.U()
+	e.pools = make([][]pool, m)
+	for c := range e.pools {
+		e.pools[c] = make([]pool, u)
+	}
+	if e.plan.ScatterAll {
+		for i := range b.Tasks {
+			c := i % m
+			e.pools[c][e.asn.CoreGroup[c]].push(&b.Tasks[i])
+		}
+		return
+	}
+	// By class: round-robin across the class's reserved placement
+	// cores (its CC-count slice of its c-group), so same-group classes
+	// start on disjoint pools.
+	_ = u
+	next := map[string]int{}
+	for i := range b.Tasks {
+		t := &b.Tasks[i]
+		g := e.asn.GroupOfClass(t.Class)
+		members := e.asn.PlacementCores(t.Class)
+		c := members[next[t.Class]%len(members)]
+		next[t.Class]++
+		e.pools[c][g].push(t)
+	}
+}
+
+// coreFree fires every time core c needs new work.
+func (e *engine) coreFree(c int) {
+	now := e.q.Now()
+	t, probes, stolen := e.acquire(c)
+	e.res.Probes += probes
+	if t == nil {
+		act := e.policy.OutOfWork(c)
+		if act.FreqLevel >= 0 {
+			e.m.SetFreq(now, c, act.FreqLevel)
+		}
+		e.m.SetState(now, c, act.State)
+		return
+	}
+	if stolen {
+		e.res.Steals++
+	}
+	if e.asn.GroupOfClass(t.Class) != e.asn.CoreGroup[c] {
+		e.res.Migrated++
+	}
+
+	lead := float64(probes) * e.params.ProbeCost
+	if stolen {
+		lead += e.params.StealCost
+	}
+	level := e.m.Freq(c)
+	exec := t.TimeAt(e.cfg.Freqs.Ratio(level))
+	e.m.SetState(now, c, machine.Busy)
+	done := now + lead + exec
+	e.q.At(done, func() { e.complete(c, t, exec, level) })
+}
+
+// complete fires when core c finishes task t.
+func (e *engine) complete(c int, t *task.Task, exec float64, level int) {
+	now := e.q.Now()
+	if e.params.Recorder != nil {
+		e.params.Recorder.Record(c, now-exec, now, t.Class, level)
+	}
+	e.prof.Record(t.Class, exec, level, t.CacheMissIntensity)
+	e.remaining--
+	if now > e.lastCompletion {
+		e.lastCompletion = now
+	}
+	e.coreFree(c)
+}
+
+// acquire finds the next task for core c, returning the task, the
+// number of pools probed and whether it was a remote steal.
+func (e *engine) acquire(c int) (*task.Task, int, bool) {
+	probes := 0
+	myG := e.asn.CoreGroup[c]
+
+	// Local pool first — both disciplines.
+	probes++
+	if t := e.pools[c][myG].popBottom(); t != nil {
+		return t, probes, false
+	}
+
+	if e.plan.RandomSteal {
+		// Classic Cilk: probe every other core's own-group pool in
+		// random order until one yields.
+		order := e.victimRNG[c].Perm(e.cfg.Cores)
+		for _, v := range order {
+			if v == c {
+				continue
+			}
+			probes++
+			if t := e.pools[v][e.asn.CoreGroup[v]].stealTop(); t != nil {
+				return t, probes, true
+			}
+		}
+		return nil, probes, false
+	}
+
+	// Preference-based stealing (paper §III-B): own group's pools in
+	// random victim order, then other groups per the preference list.
+	for _, g := range e.prefs[myG] {
+		order := e.victimRNG[c].Perm(e.cfg.Cores)
+		for _, v := range order {
+			if v == c && g == myG {
+				continue // already checked local
+			}
+			probes++
+			if t := e.pools[v][g].stealTop(); t != nil {
+				return t, probes, true
+			}
+		}
+	}
+	return nil, probes, false
+}

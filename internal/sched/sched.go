@@ -1,0 +1,208 @@
+// Package sched contains the discrete-event scheduling engine and the
+// four scheduling policies the paper evaluates:
+//
+//   - Cilk   — classic random work stealing; every core at F0; idle
+//     cores busy-steal (spin) at full power until the batch barrier.
+//   - CilkD  — Cilk plus the paper's DVFS strawman: a core that finds
+//     every pool empty clocks itself down to the lowest frequency
+//     (still spinning) until the next batch.
+//   - WATS   — workload-aware task stealing on a *fixed* asymmetric
+//     frequency configuration (the paper's [9]): heavy task classes are
+//     allocated to fast c-groups by capacity, idle cores steal by
+//     preference list, but frequencies never change.
+//   - EEWA   — the paper's contribution: per-batch online profiling, CC
+//     table + Algorithm 1 backtracking to choose a frequency
+//     configuration, c-group allocation, and preference-based stealing.
+//
+// The engine executes one task.Workload on one machine.Machine under
+// one Policy, producing a Result with makespan, wall energy, per-batch
+// frequency censuses (Fig. 8), steal statistics and adjuster overhead
+// (Table III). Simulations are deterministic for a given Params.Seed.
+package sched
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cgroup"
+	"repro/internal/machine"
+	"repro/internal/profile"
+)
+
+// Params are engine tuning knobs. Zero values are replaced by
+// DefaultParams values in Run.
+type Params struct {
+	// ProbeCost is the simulated cost of checking one task pool during
+	// work search (seconds).
+	ProbeCost float64
+	// StealCost is the extra cost of a successful remote steal
+	// (seconds) — CAS plus cache-line transfer.
+	StealCost float64
+	// AdjusterCharge is the simulated per-batch cost of running the
+	// frequency adjuster (profiling consolidation + CC table +
+	// Algorithm 1). The *measured host* cost of our implementation is
+	// reported separately in Result.AdjusterHostTime; the simulated
+	// charge is fixed for determinism and set conservatively above the
+	// measured values (Table III reports both).
+	AdjusterCharge float64
+	// Seed drives victim selection and placement shuffles.
+	Seed uint64
+	// Recorder, when non-nil, receives one span per executed task
+	// (internal/trace.Recorder satisfies it).
+	Recorder Recorder
+}
+
+// Recorder receives per-task execution spans for Gantt/CSV rendering.
+type Recorder interface {
+	Record(core int, start, end float64, label string, level int)
+}
+
+// DefaultParams returns the parameters used by every experiment in the
+// repository.
+func DefaultParams() Params {
+	return Params{
+		ProbeCost:      0.2e-6,
+		StealCost:      1.0e-6,
+		AdjusterCharge: 2.0e-3,
+		Seed:           1,
+	}
+}
+
+func (p Params) withDefaults() Params {
+	d := DefaultParams()
+	if p.ProbeCost <= 0 {
+		p.ProbeCost = d.ProbeCost
+	}
+	if p.StealCost <= 0 {
+		p.StealCost = d.StealCost
+	}
+	if p.AdjusterCharge <= 0 {
+		p.AdjusterCharge = d.AdjusterCharge
+	}
+	if p.Seed == 0 {
+		p.Seed = d.Seed
+	}
+	return p
+}
+
+// Env is the read-only context a Policy sees when planning a batch.
+type Env struct {
+	// Cfg is the machine configuration.
+	Cfg machine.Config
+	// IdealTime is T, the duration of the first batch (0 while the
+	// first batch has not completed yet).
+	IdealTime float64
+	// AdjusterCharge is the simulated overhead a planning policy
+	// should report in Plan.Overhead (from Params).
+	AdjusterCharge float64
+}
+
+// Plan is a policy's decision for one batch.
+type Plan struct {
+	// Assignment carries the frequency configuration (c-groups) and
+	// the class→c-group allocation for the batch.
+	Assignment *cgroup.Assignment
+	// Overhead is simulated seconds charged at the batch boundary for
+	// computing this plan (EEWA's adjuster; zero for the baselines).
+	Overhead float64
+	// HostTime is the real wall time the policy spent computing the
+	// plan on the host, accumulated into Result.AdjusterHostTime for
+	// Table III.
+	HostTime time.Duration
+	// RandomSteal selects classic Cilk victim selection: each core
+	// uses only its own-group pool and probes every other core's
+	// own-group pool in random order, ignoring c-group structure.
+	RandomSteal bool
+	// ScatterAll places tasks round-robin across all cores (into each
+	// core's own-group pool) instead of by class allocation — the
+	// placement used when no class information exists (first batch,
+	// the baselines, and EEWA's memory-bound fallback).
+	ScatterAll bool
+}
+
+// OutOfWorkAction is what a core does when it has probed every pool it
+// may take from and found nothing: it enters State, optionally
+// re-clocking to FreqLevel (-1 keeps the current level). No work can
+// arrive until the next batch, so the action holds until the barrier.
+type OutOfWorkAction struct {
+	State     machine.CoreState
+	FreqLevel int
+}
+
+// Policy is a scheduling discipline the engine can execute.
+type Policy interface {
+	// Name identifies the policy in results and tables.
+	Name() string
+	// BeginBatch plans batch bi. prof holds the classes profiled from
+	// batch bi-1 (empty for bi = 0); the engine resets the profiler
+	// after this call.
+	BeginBatch(bi int, prof *profile.Profiler, env *Env) Plan
+	// OutOfWork is consulted when a core exhausts every reachable
+	// pool for the remainder of a batch.
+	OutOfWork(core int) OutOfWorkAction
+}
+
+// Result is everything a simulation run reports.
+type Result struct {
+	Policy   string
+	Workload string
+
+	// Makespan is total simulated execution time (seconds).
+	Makespan float64
+	// Energy is whole-machine energy (joules): cores + base draw.
+	Energy float64
+	// CoreEnergy excludes the base draw.
+	CoreEnergy float64
+
+	// BatchTimes are per-batch durations; BatchTimes[0] is the ideal
+	// iteration time T.
+	BatchTimes []float64
+	// BatchCensus[bi][j] is the number of cores at frequency level j
+	// during batch bi — the paper's Fig. 8.
+	BatchCensus [][]int
+
+	// Steals counts successful remote steals; Probes counts pool
+	// inspections; Migrated counts tasks executed outside their
+	// class's allocated c-group.
+	Steals   int
+	Probes   int
+	Migrated int
+
+	// AdjusterSimTime is the total simulated adjuster charge;
+	// AdjusterHostTime is the measured host time of the actual
+	// CC-table + backtracking implementation (Table III).
+	AdjusterSimTime  float64
+	AdjusterHostTime time.Duration
+
+	// BusyTime/SpinTime/HaltTime are core-seconds summed over cores.
+	BusyTime, SpinTime, HaltTime float64
+
+	// DVFSTransitions counts frequency switches.
+	DVFSTransitions int
+
+	// MemoryBound reports whether the profiler classified the
+	// application as memory-bound (EEWA then falls back to classic
+	// stealing, paper §IV-D).
+	MemoryBound bool
+
+	// Profile is the final batch's workload profile with the measured
+	// ideal time — reusable as an offline profile (EEWA.Offline) per
+	// the paper's §IV-D.
+	Profile *profile.Snapshot
+}
+
+// Utilization returns busy core-seconds divided by total core-seconds —
+// the headroom EEWA converts into energy savings.
+func (r *Result) Utilization() float64 {
+	denom := r.BusyTime + r.SpinTime + r.HaltTime
+	if denom == 0 {
+		return 0
+	}
+	return r.BusyTime / denom
+}
+
+// String summarizes the result on one line.
+func (r *Result) String() string {
+	return fmt.Sprintf("%-8s %-8s makespan=%.4fs energy=%.1fJ steals=%d util=%.2f",
+		r.Policy, r.Workload, r.Makespan, r.Energy, r.Steals, r.Utilization())
+}

@@ -1,0 +1,83 @@
+package sched
+
+import (
+	"repro/internal/cgroup"
+	"repro/internal/machine"
+	"repro/internal/profile"
+)
+
+// WATS is the paper's [9] — Workload-Aware Task Scheduling for
+// asymmetric multi-core machines — reconstructed as the Fig. 7
+// baseline: the per-core frequency configuration is *fixed* for the
+// whole run (EEWA's modal configuration, frozen), task classes are
+// profiled online exactly as in EEWA, heavy classes are allocated to
+// fast c-groups by computational capacity, and idle cores steal by the
+// same rob-the-weaker-first preference lists. What WATS cannot do is
+// re-tune frequencies between batches — the delta the paper attributes
+// EEWA's remaining edge to.
+type WATS struct {
+	asn *cgroup.Assignment
+}
+
+// NewWATS builds the policy for a machine frozen at the given per-core
+// frequency levels (r = ladder length).
+func NewWATS(levels []int, r int) (*WATS, error) {
+	asn, err := cgroup.FromLevels(levels, r)
+	if err != nil {
+		return nil, err
+	}
+	return &WATS{asn: asn}, nil
+}
+
+// Name implements Policy.
+func (*WATS) Name() string { return "WATS" }
+
+// BeginBatch implements Policy. The first batch has no class history,
+// so tasks scatter round-robin; later batches allocate classes to
+// c-groups proportionally to group capacity, heaviest classes to the
+// fastest groups.
+func (w *WATS) BeginBatch(bi int, prof *profile.Profiler, env *Env) Plan {
+	if bi == 0 || prof.NumClasses() == 0 {
+		return Plan{Assignment: w.asn, ScatterAll: true}
+	}
+	classes := prof.Classes()
+	asn := *w.asn // shallow copy; Groups/CoreGroup shared (immutable here)
+	asn.ClassGroup = allocateByCapacity(classes, w.asn, env.Cfg.Freqs)
+	return Plan{Assignment: &asn}
+}
+
+// OutOfWork implements Policy: spin at the frozen frequency.
+func (*WATS) OutOfWork(int) OutOfWorkAction {
+	return OutOfWorkAction{State: machine.Spinning, FreqLevel: -1}
+}
+
+var _ Policy = (*WATS)(nil)
+
+// allocateByCapacity maps classes (descending workload) onto c-groups
+// (descending frequency): each class, heaviest first, goes to the group
+// with the lowest projected relative load (assigned work divided by
+// computational capacity Σ f_core/F0). Heavy classes therefore claim
+// the fast groups while they are still empty, and no group ends up
+// overloaded relative to its speed — the workload-aware placement the
+// WATS baseline contributes on asymmetric machines.
+func allocateByCapacity(classes []profile.Class, asn *cgroup.Assignment, ladder machine.FreqLadder) map[string]int {
+	u := asn.U()
+	caps := make([]float64, u)
+	loads := make([]float64, u)
+	for gi, g := range asn.Groups {
+		caps[gi] = float64(len(g.Cores)) / ladder.Ratio(g.Level)
+	}
+	out := make(map[string]int, len(classes))
+	for _, c := range classes {
+		best, bestLoad := 0, 0.0
+		for gi := 0; gi < u; gi++ {
+			load := (loads[gi] + c.TotalWork()) / caps[gi]
+			if gi == 0 || load < bestLoad {
+				best, bestLoad = gi, load
+			}
+		}
+		out[c.Name] = best
+		loads[best] += c.TotalWork()
+	}
+	return out
+}

@@ -1,0 +1,184 @@
+// Package sweep runs policy × benchmark × machine grids and collects
+// tidy records — the generalization of the paper's figures into an
+// arbitrary design-space exploration (core counts, seeds, policies,
+// benchmarks), with CSV export for external plotting.
+package sweep
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/machine"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// Grid declares the sweep space. Zero-valued fields get defaults.
+type Grid struct {
+	// Benchmarks are Table II names; empty = all seven.
+	Benchmarks []string
+	// Policies are "cilk", "cilk-d", "eewa"; empty = all three.
+	Policies []string
+	// Cores are machine sizes; empty = {16}.
+	Cores []int
+	// Seeds are per-cell repetitions; empty = {1, 2, 3}.
+	Seeds []uint64
+}
+
+func (g Grid) withDefaults() Grid {
+	if len(g.Benchmarks) == 0 {
+		g.Benchmarks = workloads.Names()
+	}
+	if len(g.Policies) == 0 {
+		g.Policies = []string{"cilk", "cilk-d", "eewa"}
+	}
+	if len(g.Cores) == 0 {
+		g.Cores = []int{16}
+	}
+	if len(g.Seeds) == 0 {
+		g.Seeds = []uint64{1, 2, 3}
+	}
+	return g
+}
+
+// Record is one cell of the sweep (seed-averaged).
+type Record struct {
+	Benchmark string
+	Policy    string
+	Cores     int
+	Runs      int
+
+	// Seed-averaged outcomes.
+	Makespan    float64
+	MakespanCI  float64 // 95 % half-width
+	Energy      float64
+	EnergyCI    float64
+	Utilization float64
+	Steals      float64
+
+	// Normalized against the same-cell Cilk baseline (1.0 for Cilk).
+	NormTime   float64
+	NormEnergy float64
+}
+
+// Run executes the grid. Cells are deterministic per seed; rows come
+// back sorted by (benchmark, cores, policy).
+func Run(g Grid) ([]Record, error) {
+	g = g.withDefaults()
+	type cellKey struct {
+		bench  string
+		cores  int
+		policy string
+	}
+	cells := map[cellKey]*Record{}
+
+	for _, benchName := range g.Benchmarks {
+		b, err := workloads.ByName(benchName)
+		if err != nil {
+			return nil, err
+		}
+		for _, cores := range g.Cores {
+			cfg := machine.Generic(cores)
+			for _, policy := range g.Policies {
+				var times, energies, utils, steals []float64
+				for _, seed := range g.Seeds {
+					p, err := newPolicy(policy, cfg)
+					if err != nil {
+						return nil, err
+					}
+					params := sched.DefaultParams()
+					params.Seed = seed
+					res, err := sched.Run(cfg, b.Workload(seed), p, params)
+					if err != nil {
+						return nil, fmt.Errorf("sweep: %s/%s/%d seed %d: %w", benchName, policy, cores, seed, err)
+					}
+					times = append(times, res.Makespan)
+					energies = append(energies, res.Energy)
+					utils = append(utils, res.Utilization())
+					steals = append(steals, float64(res.Steals))
+				}
+				cells[cellKey{benchName, cores, policy}] = &Record{
+					Benchmark:   benchName,
+					Policy:      policy,
+					Cores:       cores,
+					Runs:        len(g.Seeds),
+					Makespan:    stats.Mean(times),
+					MakespanCI:  stats.CI95(times),
+					Energy:      stats.Mean(energies),
+					EnergyCI:    stats.CI95(energies),
+					Utilization: stats.Mean(utils),
+					Steals:      stats.Mean(steals),
+				}
+			}
+		}
+	}
+
+	// Normalize each (benchmark, cores) against its Cilk cell when one
+	// exists.
+	var out []Record
+	for key, rec := range cells {
+		base, ok := cells[cellKey{key.bench, key.cores, "cilk"}]
+		if ok && base.Makespan > 0 {
+			rec.NormTime = rec.Makespan / base.Makespan
+			rec.NormEnergy = rec.Energy / base.Energy
+		}
+		out = append(out, *rec)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Benchmark != out[j].Benchmark {
+			return out[i].Benchmark < out[j].Benchmark
+		}
+		if out[i].Cores != out[j].Cores {
+			return out[i].Cores < out[j].Cores
+		}
+		return out[i].Policy < out[j].Policy
+	})
+	return out, nil
+}
+
+func newPolicy(name string, cfg machine.Config) (sched.Policy, error) {
+	switch name {
+	case "cilk":
+		return sched.NewCilk(), nil
+	case "cilk-d":
+		return sched.NewCilkD(len(cfg.Freqs)), nil
+	case "eewa":
+		return sched.NewEEWA(), nil
+	default:
+		return nil, fmt.Errorf("sweep: unknown policy %q", name)
+	}
+}
+
+// WriteCSV emits the records with a header row.
+func WriteCSV(w io.Writer, records []Record) error {
+	if _, err := fmt.Fprintln(w, "benchmark,policy,cores,runs,makespan_s,makespan_ci95,energy_j,energy_ci95,utilization,steals,norm_time,norm_energy"); err != nil {
+		return err
+	}
+	for _, r := range records {
+		if _, err := fmt.Fprintf(w, "%s,%s,%d,%d,%.6f,%.6f,%.2f,%.2f,%.4f,%.1f,%.4f,%.4f\n",
+			r.Benchmark, r.Policy, r.Cores, r.Runs,
+			r.Makespan, r.MakespanCI, r.Energy, r.EnergyCI,
+			r.Utilization, r.Steals, r.NormTime, r.NormEnergy); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteTable renders an aligned text table of the records.
+func WriteTable(w io.Writer, records []Record) error {
+	if _, err := fmt.Fprintf(w, "%-8s %-7s %6s %12s %12s %8s %8s %8s\n",
+		"bench", "policy", "cores", "time (s)", "energy (J)", "util", "norm t", "norm E"); err != nil {
+		return err
+	}
+	for _, r := range records {
+		if _, err := fmt.Fprintf(w, "%-8s %-7s %6d %12.4f %12.1f %8.2f %8.3f %8.3f\n",
+			r.Benchmark, r.Policy, r.Cores, r.Makespan, r.Energy,
+			r.Utilization, r.NormTime, r.NormEnergy); err != nil {
+			return err
+		}
+	}
+	return nil
+}

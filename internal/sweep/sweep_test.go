@@ -1,0 +1,116 @@
+package sweep
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func smallGrid() Grid {
+	return Grid{
+		Benchmarks: []string{"md5"},
+		Policies:   []string{"cilk", "eewa"},
+		Cores:      []int{8, 16},
+		Seeds:      []uint64{1},
+	}
+}
+
+func TestRunSmallGrid(t *testing.T) {
+	recs, err := Run(smallGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("got %d records, want 4 (2 policies × 2 sizes)", len(recs))
+	}
+	for _, r := range recs {
+		if r.Makespan <= 0 || r.Energy <= 0 {
+			t.Errorf("%+v degenerate", r)
+		}
+		if r.Policy == "cilk" && (r.NormTime != 1 || r.NormEnergy != 1) {
+			t.Errorf("cilk cell must normalize to 1: %+v", r)
+		}
+		if r.Policy == "eewa" && r.NormEnergy >= 1 {
+			t.Errorf("eewa at %d cores should save energy, got %.3f", r.Cores, r.NormEnergy)
+		}
+		if r.Runs != 1 {
+			t.Errorf("runs = %d, want 1", r.Runs)
+		}
+	}
+	// Sorted by (benchmark, cores, policy).
+	if recs[0].Cores != 8 || recs[2].Cores != 16 {
+		t.Errorf("records not sorted by cores: %+v", recs)
+	}
+}
+
+func TestRunDefaults(t *testing.T) {
+	g := Grid{Benchmarks: []string{"je"}, Cores: []int{4}, Seeds: []uint64{1}}.withDefaults()
+	if len(g.Policies) != 3 {
+		t.Errorf("default policies = %v", g.Policies)
+	}
+	full := Grid{}.withDefaults()
+	if len(full.Benchmarks) != 7 || len(full.Seeds) != 3 || full.Cores[0] != 16 {
+		t.Errorf("defaults = %+v", full)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := Run(Grid{Benchmarks: []string{"nope"}, Seeds: []uint64{1}}); err == nil {
+		t.Error("unknown benchmark should error")
+	}
+	if _, err := Run(Grid{Benchmarks: []string{"md5"}, Policies: []string{"magic"}, Seeds: []uint64{1}}); err == nil {
+		t.Error("unknown policy should error")
+	}
+}
+
+func TestCI95PopulatedWithMultipleSeeds(t *testing.T) {
+	recs, err := Run(Grid{
+		Benchmarks: []string{"lzw"},
+		Policies:   []string{"cilk"},
+		Cores:      []int{16},
+		Seeds:      []uint64{1, 2, 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[0].MakespanCI <= 0 {
+		t.Error("CI should be positive with 3 differing seeds")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	recs, err := Run(smallGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("CSV lines = %d, want 5", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "benchmark,policy,cores") {
+		t.Errorf("header = %q", lines[0])
+	}
+	for _, l := range lines[1:] {
+		if n := strings.Count(l, ","); n != 11 {
+			t.Errorf("row %q has %d commas, want 11", l, n)
+		}
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	recs, err := Run(smallGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTable(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "md5") {
+		t.Errorf("table output:\n%s", buf.String())
+	}
+}

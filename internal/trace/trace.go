@@ -1,0 +1,162 @@
+// Package trace records per-core execution spans from a simulation and
+// renders them as an ASCII Gantt chart or CSV — the visual counterpart
+// of the paper's schedule diagrams (Fig. 1) for arbitrary runs.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Span is one task execution on one core.
+type Span struct {
+	Core       int
+	Start, End float64 // simulated seconds
+	Label      string  // task class
+	Level      int     // frequency level while executing
+}
+
+// Recorder accumulates spans. It satisfies the sched.Recorder hook.
+// The zero value is ready to use.
+type Recorder struct {
+	Spans []Span
+}
+
+// Record implements the scheduler's trace hook.
+func (r *Recorder) Record(core int, start, end float64, label string, level int) {
+	r.Spans = append(r.Spans, Span{Core: core, Start: start, End: end, Label: label, Level: level})
+}
+
+// Makespan returns the latest span end (0 when empty).
+func (r *Recorder) Makespan() float64 {
+	m := 0.0
+	for _, s := range r.Spans {
+		if s.End > m {
+			m = s.End
+		}
+	}
+	return m
+}
+
+// cores returns the sorted distinct core IDs seen.
+func (r *Recorder) cores() []int {
+	seen := map[int]bool{}
+	for _, s := range r.Spans {
+		seen[s.Core] = true
+	}
+	out := make([]int, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// levelGlyphs maps frequency levels to bar glyphs: faster = denser.
+var levelGlyphs = []byte{'#', '=', '-', '.', ':', '~', '_', '\''}
+
+// Gantt renders one row per core, `width` characters across the full
+// makespan. Busy time is drawn with a glyph encoding the frequency
+// level ('#' fastest, then '=', '-', '.'); idle time is blank.
+func (r *Recorder) Gantt(width int) string {
+	if len(r.Spans) == 0 || width <= 0 {
+		return "(no spans)\n"
+	}
+	makespan := r.Makespan()
+	if makespan <= 0 {
+		return "(zero-length trace)\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "gantt: %d spans over %.4fs ('#'=F0, '='=F1, '-'=F2, '.'=F3)\n", len(r.Spans), makespan)
+	for _, c := range r.cores() {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = ' '
+		}
+		for _, s := range r.Spans {
+			if s.Core != c {
+				continue
+			}
+			lo := int(s.Start / makespan * float64(width))
+			hi := int(s.End / makespan * float64(width))
+			if hi >= width {
+				hi = width - 1
+			}
+			glyph := levelGlyphs[s.Level%len(levelGlyphs)]
+			for i := lo; i <= hi; i++ {
+				row[i] = glyph
+			}
+		}
+		fmt.Fprintf(&b, "core %2d |%s|\n", c, row)
+	}
+	return b.String()
+}
+
+// CSV writes the spans as core,start,end,label,level rows.
+func (r *Recorder) CSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "core,start,end,label,level"); err != nil {
+		return err
+	}
+	for _, s := range r.Spans {
+		if _, err := fmt.Fprintf(w, "%d,%.9f,%.9f,%s,%d\n", s.Core, s.Start, s.End, s.Label, s.Level); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BusyTime returns the summed span durations per core.
+func (r *Recorder) BusyTime() map[int]float64 {
+	out := map[int]float64{}
+	for _, s := range r.Spans {
+		out[s.Core] += s.End - s.Start
+	}
+	return out
+}
+
+// ClassTime returns the summed span durations per task class.
+func (r *Recorder) ClassTime() map[string]float64 {
+	out := map[string]float64{}
+	for _, s := range r.Spans {
+		out[s.Label] += s.End - s.Start
+	}
+	return out
+}
+
+// WriteTable renders a generic aligned text table (helper shared by the
+// CLIs).
+func WriteTable(w io.Writer, header []string, rows [][]string) error {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) error {
+		var b strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+		return err
+	}
+	if err := line(header); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if err := line(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/sched"
+	"repro/internal/task"
+)
+
+func sample() *Recorder {
+	r := &Recorder{}
+	r.Record(0, 0, 1.0, "a", 0)
+	r.Record(0, 1.2, 2.0, "b", 0)
+	r.Record(1, 0, 0.5, "b", 3)
+	return r
+}
+
+func TestMakespan(t *testing.T) {
+	r := sample()
+	if got := r.Makespan(); got != 2.0 {
+		t.Errorf("Makespan = %g, want 2", got)
+	}
+	empty := &Recorder{}
+	if empty.Makespan() != 0 {
+		t.Error("empty recorder makespan should be 0")
+	}
+}
+
+func TestGantt(t *testing.T) {
+	out := sample().Gantt(40)
+	if !strings.Contains(out, "core  0") || !strings.Contains(out, "core  1") {
+		t.Errorf("gantt missing core rows:\n%s", out)
+	}
+	// Core 0 runs at F0 ('#'), core 1 at F3 ('.').
+	lines := strings.Split(out, "\n")
+	var row0, row1 string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "core  0") {
+			row0 = l
+		}
+		if strings.HasPrefix(l, "core  1") {
+			row1 = l
+		}
+	}
+	if !strings.Contains(row0, "#") {
+		t.Errorf("core 0 row missing F0 glyph: %s", row0)
+	}
+	if !strings.Contains(row1, ".") {
+		t.Errorf("core 1 row missing F3 glyph: %s", row1)
+	}
+	// Idle gap on core 0 between 1.0 and 1.2 leaves blanks.
+	if !strings.Contains(row0, " ") {
+		t.Errorf("core 0 row has no idle gap: %s", row0)
+	}
+}
+
+func TestGanttDegenerate(t *testing.T) {
+	empty := &Recorder{}
+	if out := empty.Gantt(40); !strings.Contains(out, "no spans") {
+		t.Errorf("empty gantt = %q", out)
+	}
+	if out := sample().Gantt(0); !strings.Contains(out, "no spans") && out == "" {
+		t.Error("zero width should degrade gracefully")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("CSV has %d lines, want 4 (header + 3 spans)", len(lines))
+	}
+	if lines[0] != "core,start,end,label,level" {
+		t.Errorf("header = %q", lines[0])
+	}
+}
+
+func TestBusyAndClassTime(t *testing.T) {
+	r := sample()
+	busy := r.BusyTime()
+	if math.Abs(busy[0]-1.8) > 1e-9 || math.Abs(busy[1]-0.5) > 1e-9 {
+		t.Errorf("BusyTime = %v", busy)
+	}
+	class := r.ClassTime()
+	if math.Abs(class["a"]-1.0) > 1e-9 || math.Abs(class["b"]-1.3) > 1e-9 {
+		t.Errorf("ClassTime = %v", class)
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteTable(&buf, []string{"name", "value"}, [][]string{
+		{"alpha", "1"},
+		{"b", "222222"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "222222") {
+		t.Errorf("table output:\n%s", out)
+	}
+}
+
+// TestRecorderWithScheduler wires the recorder into a real simulation
+// and checks the spans reconstruct the machine's busy time.
+func TestRecorderWithScheduler(t *testing.T) {
+	cfg := machine.Opteron16()
+	w := task.MustGenerate("traced", 2, []task.ClassSpec{
+		{Name: "a", Count: 16, MeanWork: 0.01, JitterFrac: 0.05},
+	}, 3)
+	rec := &Recorder{}
+	params := sched.DefaultParams()
+	params.Recorder = rec
+	res, err := sched.Run(cfg, w, sched.NewCilk(), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Spans) != 32 {
+		t.Fatalf("recorded %d spans, want 32 tasks", len(rec.Spans))
+	}
+	total := 0.0
+	for _, busy := range rec.BusyTime() {
+		total += busy
+	}
+	// Machine busy time additionally includes probe/steal lead-in
+	// (≈ a microsecond per task), so allow that much slack.
+	if math.Abs(total-res.BusyTime) > 1e-4 {
+		t.Errorf("span time %g != machine busy time %g", total, res.BusyTime)
+	}
+	if rec.Makespan() > res.Makespan+1e-9 {
+		t.Error("span end beyond makespan")
+	}
+	out := rec.Gantt(60)
+	if !strings.Contains(out, "32 spans") {
+		t.Errorf("gantt header wrong:\n%s", out)
+	}
+}

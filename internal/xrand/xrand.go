@@ -1,0 +1,119 @@
+// Package xrand provides a small, fast, deterministic random number
+// generator (splitmix64) used throughout the EEWA simulator and workload
+// generators.
+//
+// Determinism matters here more than statistical perfection: every
+// experiment in this repository must reproduce bit-identical schedules
+// from the same seed so that the reported tables are stable across runs
+// and machines. math/rand would also work, but carrying our own
+// generator keeps the stream format frozen regardless of Go version and
+// lets simulator state embed the generator by value.
+package xrand
+
+import "math"
+
+// RNG is a splitmix64 generator. The zero value is a valid generator
+// seeded with 0; prefer New for clarity.
+type RNG struct {
+	state uint64
+}
+
+// New returns a generator seeded with seed.
+func New(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Seed resets the generator state.
+func (r *RNG) Seed(seed uint64) { r.state = seed }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	// Lemire's multiply-shift rejection-free variant is overkill at this
+	// scale; simple modulo bias is < 2^-40 for the n values used here,
+	// but we keep the rejection loop anyway for correctness.
+	bound := uint64(n)
+	threshold := -bound % bound
+	for {
+		v := r.Uint64()
+		if v >= threshold {
+			return int(v % bound)
+		}
+	}
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Range returns a uniform float64 in [lo, hi).
+func (r *RNG) Range(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Norm returns a normally distributed float64 with the given mean and
+// standard deviation, via the Box–Muller transform.
+func (r *RNG) Norm(mean, stddev float64) float64 {
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mean + stddev*z
+}
+
+// Jitter returns base scaled by a uniform factor in
+// [1-frac, 1+frac], clamped to be strictly positive. It models the
+// paper's assumption that "workloads of tasks may change slightly in
+// different iterations".
+func (r *RNG) Jitter(base, frac float64) float64 {
+	if frac <= 0 {
+		return base
+	}
+	v := base * r.Range(1-frac, 1+frac)
+	if v <= 0 {
+		v = base * 0.01
+	}
+	return v
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle pseudo-randomly permutes the first n elements using swap.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Split returns a new generator derived from this one, so that
+// independent subsystems (e.g. each simulated core's victim selection)
+// can draw without perturbing each other's streams.
+func (r *RNG) Split() *RNG {
+	return &RNG{state: r.Uint64()}
+}

@@ -1,0 +1,175 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("different seeds collided %d/100 times", same)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(7)
+	for _, n := range []int{1, 2, 3, 10, 1000} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnCoversAllValues(t *testing.T) {
+	r := New(9)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		seen[r.Intn(8)] = true
+	}
+	if len(seen) != 8 {
+		t.Errorf("Intn(8) produced only %d distinct values in 1000 draws", len(seen))
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 1000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %g out of [0,1)", f)
+		}
+	}
+}
+
+func TestRange(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 1000; i++ {
+		v := r.Range(2, 5)
+		if v < 2 || v >= 5 {
+			t.Fatalf("Range(2,5) = %g out of bounds", v)
+		}
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(11)
+	const n = 50000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.Norm(10, 2)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-10) > 0.05 {
+		t.Errorf("Norm mean = %g, want ~10", mean)
+	}
+	if math.Abs(variance-4) > 0.2 {
+		t.Errorf("Norm variance = %g, want ~4", variance)
+	}
+}
+
+func TestJitter(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 1000; i++ {
+		v := r.Jitter(100, 0.1)
+		if v < 90 || v >= 110 {
+			t.Fatalf("Jitter(100, 0.1) = %g out of [90,110)", v)
+		}
+	}
+	if got := r.Jitter(100, 0); got != 100 {
+		t.Errorf("Jitter with frac 0 should return base, got %g", got)
+	}
+	// Jitter must always be positive even with extreme fractions.
+	for i := 0; i < 1000; i++ {
+		if v := r.Jitter(1, 2); v <= 0 {
+			t.Fatalf("Jitter produced non-positive %g", v)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		size := int(n % 64)
+		p := New(seed).Perm(size)
+		if len(p) != size {
+			return false
+		}
+		seen := make([]bool, size)
+		for _, v := range p {
+			if v < 0 || v >= size || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	r := New(13)
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	seen := map[int]bool{}
+	for _, v := range xs {
+		seen[v] = true
+	}
+	if len(seen) != 8 {
+		t.Errorf("Shuffle lost elements: %v", xs)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(99)
+	child := parent.Split()
+	// The child stream must not equal the parent's continuation.
+	collisions := 0
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() == child.Uint64() {
+			collisions++
+		}
+	}
+	if collisions > 0 {
+		t.Errorf("Split streams collided %d/100 times", collisions)
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var r RNG
+	// Must not panic and must produce values.
+	_ = r.Uint64()
+	_ = r.Float64()
+}

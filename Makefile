@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench cover experiments examples clean
+.PHONY: all build vet test race bench cover experiments examples obs-demo clean
 
 all: build vet test
 
@@ -37,6 +37,13 @@ examples:
 	$(GO) run ./examples/memorybound
 	$(GO) run ./examples/liveruntime -workers 4 -batches 3
 
+# Observability demo: one instrumented simulation producing a
+# Prometheus metrics snapshot and a Perfetto-compatible trace (open
+# obs_trace.json at https://ui.perfetto.dev).
+obs-demo:
+	$(GO) run ./cmd/eewa-sim -bench sha1 -policy eewa \
+		-metrics-out obs_metrics.prom -trace-out obs_trace.json -gantt
+
 # Reproduction artifacts referenced from EXPERIMENTS.md.
 artifacts:
 	$(GO) test ./... 2>&1 | tee test_output.txt
@@ -44,4 +51,4 @@ artifacts:
 
 clean:
 	$(GO) clean ./...
-	rm -f test_output.txt bench_output.txt
+	rm -f test_output.txt bench_output.txt obs_metrics.prom obs_trace.json

@@ -69,6 +69,7 @@ func main() {
 		return
 	}
 	printDecision(adj.LastTable, adj.LastTuple, asn)
+	fmt.Printf("search: %d select attempts, %v host time\n", adj.LastSteps, adj.HostTime)
 }
 
 func fig3(ladder machine.FreqLadder, cores int) {
@@ -93,6 +94,7 @@ func fig3(ladder machine.FreqLadder, cores int) {
 		log.Fatal(err)
 	}
 	printDecision(tab, tuple, asn)
+	fmt.Printf("search: %d select attempts\n", tab.LastSearchSteps)
 }
 
 func printDecision(tab *cctable.Table, tuple []int, asn *cgroup.Assignment) {

@@ -1,20 +1,24 @@
 // Command eewa-sim runs one scheduling policy on one workload and
 // prints the result, optionally with an ASCII Gantt chart of the
-// schedule and a CSV span dump.
+// schedule, a CSV span dump, a Perfetto-compatible trace and a
+// Prometheus metrics snapshot.
 //
 // Usage:
 //
 //	eewa-sim -bench sha1 -policy eewa [-cores 16] [-seed 1] [-gantt] [-csv out.csv]
+//	eewa-sim -bench sha1 -policy eewa -metrics-out m.prom -trace-out t.json
 //	eewa-sim -bench all -policy all        # summary matrix
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/sched"
 	"repro/internal/trace"
@@ -25,11 +29,13 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("eewa-sim: ")
 	benchName := flag.String("bench", "sha1", "benchmark: bwc|bzip2|dmc|je|lzw|md5|sha1|membound|all")
-	policyName := flag.String("policy", "eewa", "policy: cilk|cilk-d|eewa|all")
+	policyName := flag.String("policy", "eewa", "policy: cilk|cilk-d|wats|eewa|all")
 	cores := flag.Int("cores", 16, "number of cores")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	gantt := flag.Bool("gantt", false, "print an ASCII Gantt chart of the schedule")
 	csvPath := flag.String("csv", "", "write per-task spans to this CSV file")
+	metricsOut := flag.String("metrics-out", "", "write Prometheus-format metrics to this file (accumulated over all runs)")
+	traceOut := flag.String("trace-out", "", "write a Chrome/Perfetto trace-event JSON file (last run wins)")
 	profileOut := flag.String("profile-out", "", "save the run's workload profile (JSON) for offline reuse")
 	profileIn := flag.String("profile-in", "", "load an offline workload profile (JSON); EEWA configures before batch 1")
 	flag.Parse()
@@ -62,9 +68,16 @@ func main() {
 
 	var policies []string
 	if *policyName == "all" {
-		policies = []string{"cilk", "cilk-d", "eewa"}
+		policies = []string{"cilk", "cilk-d", "wats", "eewa"}
 	} else {
 		policies = []string{*policyName}
+	}
+
+	// One registry accumulates across every run of the invocation, so
+	// `-bench all` snapshots the whole matrix.
+	var reg *obs.Registry
+	if *metricsOut != "" {
+		reg = obs.NewRegistry()
 	}
 
 	cfg := machine.Generic(*cores)
@@ -77,6 +90,12 @@ func main() {
 				p = sched.NewCilk()
 			case "cilk-d":
 				p = sched.NewCilkD(len(cfg.Freqs))
+			case "wats":
+				wp, err := sched.NewWATS(sched.DefaultWATSLevels(cfg.Cores, len(cfg.Freqs)), len(cfg.Freqs))
+				if err != nil {
+					log.Fatal(err)
+				}
+				p = wp
 			case "eewa":
 				e := sched.NewEEWA()
 				e.Offline = offline
@@ -86,8 +105,9 @@ func main() {
 			}
 			params := sched.DefaultParams()
 			params.Seed = *seed
+			params.Obs = reg
 			var rec *trace.Recorder
-			if *gantt || *csvPath != "" {
+			if *gantt || *csvPath != "" || *traceOut != "" {
 				rec = &trace.Recorder{}
 				params.Recorder = rec
 			}
@@ -119,18 +139,37 @@ func main() {
 				fmt.Printf("  profile written to %s\n", *profileOut)
 			}
 			if rec != nil && *csvPath != "" {
-				f, err := os.Create(*csvPath)
-				if err != nil {
-					log.Fatal(err)
-				}
-				if err := rec.CSV(f); err != nil {
-					log.Fatal(err)
-				}
-				if err := f.Close(); err != nil {
+				if err := writeTo(*csvPath, rec.CSV); err != nil {
 					log.Fatal(err)
 				}
 				fmt.Printf("  spans written to %s\n", *csvPath)
 			}
+			if rec != nil && *traceOut != "" {
+				if err := writeTo(*traceOut, rec.WriteTraceEvents); err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("  trace written to %s (open at https://ui.perfetto.dev)\n", *traceOut)
+			}
 		}
 	}
+
+	if reg != nil {
+		if err := writeTo(*metricsOut, reg.WritePrometheus); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("metrics written to %s\n", *metricsOut)
+	}
+}
+
+// writeTo creates path and streams write into it.
+func writeTo(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

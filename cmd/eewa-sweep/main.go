@@ -22,7 +22,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("eewa-sweep: ")
 	benches := flag.String("bench", "", "comma-separated benchmarks (default: all seven)")
-	policies := flag.String("policies", "", "comma-separated policies: cilk,cilk-d,eewa (default: all)")
+	policies := flag.String("policies", "", "comma-separated policies: cilk,cilk-d,wats,eewa (default: cilk,cilk-d,eewa)")
 	cores := flag.String("cores", "", "comma-separated core counts (default: 16)")
 	nseeds := flag.Int("seeds", 3, "number of seeds per cell")
 	csvPath := flag.String("csv", "", "write CSV to this file instead of a table to stdout")

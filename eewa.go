@@ -36,9 +36,11 @@ import (
 	"fmt"
 
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/rt"
 	"repro/internal/sched"
 	"repro/internal/task"
+	"repro/internal/trace"
 	"repro/internal/workloads"
 )
 
@@ -71,6 +73,14 @@ type (
 	LiveRuntime = rt.Runtime
 	// LiveBatchStats summarizes one live batch.
 	LiveBatchStats = rt.BatchStats
+	// Metrics is the observability registry both runtimes report into:
+	// counters, gauges and histograms exportable as Prometheus text or
+	// JSON (internal/obs). Set it as Params.Obs or LiveConfig.Obs.
+	Metrics = obs.Registry
+	// TraceRecorder collects per-core execution, steal and idle spans
+	// and renders them as a Gantt chart, CSV or Perfetto-compatible
+	// trace-event JSON (internal/trace). Set it as Params.Recorder.
+	TraceRecorder = trace.Recorder
 )
 
 // Policy names accepted by Simulate.
@@ -82,6 +92,12 @@ const (
 	PolicyCilkD = "cilk-d"
 	// PolicyEEWA is the paper's full scheduler.
 	PolicyEEWA = "eewa"
+	// PolicyWATS is workload-aware stealing on a fixed asymmetric
+	// frequency configuration (the paper's [9], its Fig. 7 baseline):
+	// class profiling and preference stealing like EEWA, but the
+	// frequencies are frozen at sched.DefaultWATSLevels — no per-batch
+	// adjuster.
+	PolicyWATS = "wats"
 )
 
 // Opteron16 returns the paper's evaluation platform: 16 cores in four
@@ -126,8 +142,10 @@ func NewPolicy(name string, cfg MachineConfig) (sched.Policy, error) {
 		return sched.NewCilkD(len(cfg.Freqs)), nil
 	case PolicyEEWA:
 		return sched.NewEEWA(), nil
+	case PolicyWATS:
+		return sched.NewWATS(sched.DefaultWATSLevels(cfg.Cores, len(cfg.Freqs)), len(cfg.Freqs))
 	default:
-		return nil, fmt.Errorf("eewa: unknown policy %q (want %s, %s or %s)", name, PolicyCilk, PolicyCilkD, PolicyEEWA)
+		return nil, fmt.Errorf("eewa: unknown policy %q (want %s, %s, %s or %s)", name, PolicyCilk, PolicyCilkD, PolicyWATS, PolicyEEWA)
 	}
 }
 
@@ -193,3 +211,20 @@ const (
 	LivePolicyCilk = rt.PolicyCilk
 	LivePolicyEEWA = rt.PolicyEEWA
 )
+
+// NewMetrics builds an observability registry. Pass it as Params.Obs
+// (simulator) or LiveConfig.Obs (live runtime); export it with
+// (*Metrics).WritePrometheus, (*Metrics).WriteJSON or ServeMetrics.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// ServeMetrics starts an HTTP server exposing reg on /metrics
+// (Prometheus text format), /debug/vars (JSON snapshot) and
+// /debug/pprof. It returns the bound address (useful with ":0") and a
+// shutdown function.
+func ServeMetrics(addr string, reg *Metrics) (string, func() error, error) {
+	a, stop, err := obs.Serve(addr, reg)
+	if err != nil {
+		return "", nil, err
+	}
+	return a.String(), stop, nil
+}

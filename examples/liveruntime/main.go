@@ -12,12 +12,14 @@
 // Run with:
 //
 //	go run ./examples/liveruntime [-workers 8] [-batches 5]
+//	go run ./examples/liveruntime -metrics-addr :9090   # scrape /metrics
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	eewa "repro"
@@ -28,7 +30,22 @@ func main() {
 	log.SetFlags(0)
 	workers := flag.Int("workers", 8, "worker goroutines")
 	batches := flag.Int("batches", 5, "number of batches")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running")
+	metricsOut := flag.String("metrics-out", "", "write final Prometheus-format metrics to this file")
 	flag.Parse()
+
+	var reg *eewa.Metrics
+	if *metricsAddr != "" || *metricsOut != "" {
+		reg = eewa.NewMetrics()
+	}
+	if *metricsAddr != "" {
+		addr, stop, err := eewa.ServeMetrics(*metricsAddr, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer stop()
+		fmt.Printf("metrics on http://%s/metrics\n", addr)
+	}
 
 	// Deterministic corpus: a few large "files" and many small chunks.
 	large := make([][]byte, 2)
@@ -44,8 +61,8 @@ func main() {
 		name string
 		p    eewa.LiveConfig
 	}{
-		{"cilk", eewa.LiveConfig{Workers: *workers, Machine: eewa.Opteron16(), Policy: eewa.LivePolicyCilk, Seed: 1}},
-		{"eewa", eewa.LiveConfig{Workers: *workers, Machine: eewa.Opteron16(), Policy: eewa.LivePolicyEEWA, Seed: 1}},
+		{"cilk", eewa.LiveConfig{Workers: *workers, Machine: eewa.Opteron16(), Policy: eewa.LivePolicyCilk, Seed: 1, Obs: reg}},
+		{"eewa", eewa.LiveConfig{Workers: *workers, Machine: eewa.Opteron16(), Policy: eewa.LivePolicyEEWA, Seed: 1, Obs: reg}},
 	} {
 		rt, err := eewa.NewRuntime(policy.p)
 		if err != nil {
@@ -63,6 +80,20 @@ func main() {
 		fmt.Printf("total: %d tasks, wall %v, modeled energy %.1f J (%.1f W avg)\n\n",
 			st.Tasks, time.Since(start).Round(time.Millisecond), st.Energy,
 			st.Energy/st.Wall.Seconds())
+	}
+
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := reg.WritePrometheus(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("metrics written to %s\n", *metricsOut)
 	}
 }
 

@@ -47,6 +47,10 @@ type Table struct {
 	Ladder machine.FreqLadder
 	// T is the ideal iteration time used as the denominator.
 	T float64
+	// LastSearchSteps is the number of Select attempts the most recent
+	// SearchTuple call performed — the backtracking effort reported to
+	// the observability layer.
+	LastSearchSteps int
 }
 
 // Build constructs the CC table for the given classes (which must
@@ -226,6 +230,7 @@ func (t *Table) SearchTuple(m int) ([]int, bool) {
 	k, r := t.K(), t.R()
 	a := make([]int, k)
 	cn := 0 // running core count, the paper's c_n
+	steps := 0
 
 	var search func(i int) bool
 	search = func(i int) bool {
@@ -237,6 +242,7 @@ func (t *Table) SearchTuple(m int) ([]int, bool) {
 			lo = a[i-1] // constraint 3: a_i ≥ a_{i-1} in row index
 		}
 		for j := r - 1; j >= lo; j-- {
+			steps++
 			if t.CC[j][i]+cn <= m { // Select(i, j)
 				a[i] = j
 				cn += t.CC[j][i]
@@ -249,7 +255,9 @@ func (t *Table) SearchTuple(m int) ([]int, bool) {
 		return false
 	}
 
-	if search(0) {
+	ok := search(0)
+	t.LastSearchSteps = steps
+	if ok {
 		return a, true
 	}
 	for i := range a {

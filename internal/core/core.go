@@ -53,6 +53,10 @@ type Adjuster struct {
 	// within the core budget (the adjuster then keeps every core
 	// fast).
 	Infeasible int
+	// LastSteps is the Select-attempt count of the most recent tuple
+	// search (0 for search functions that do not report it), surfaced
+	// as the adjuster's backtracking-depth metric.
+	LastSteps int
 	// HostTime accumulates the measured wall time spent deciding —
 	// the quantity Table III reports.
 	HostTime time.Duration
@@ -107,6 +111,7 @@ func (a *Adjuster) Adjust(classes []profile.Class, T float64) (*cgroup.Assignmen
 	tuple, ok := a.Search(tab, a.cores)
 	a.LastTable = tab
 	a.LastTuple = tuple
+	a.LastSteps = tab.LastSearchSteps
 	if !ok {
 		a.Infeasible++
 		return a.AllFast(), false
@@ -190,6 +195,7 @@ func (a *Adjuster) AdjustMemAware(p *profile.Profiler, T float64) (*cgroup.Assig
 	tuple, ok := a.Search(tab, a.cores)
 	a.LastTable = tab
 	a.LastTuple = tuple
+	a.LastSteps = tab.LastSearchSteps
 	if !ok {
 		a.Infeasible++
 		return a.AllFast(), MemFallback

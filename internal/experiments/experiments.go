@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/cctable"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/stats"
 	"repro/internal/workloads"
@@ -32,6 +33,15 @@ import (
 // a fraction of the time).
 var DefaultSeeds = []uint64{1, 2, 3}
 
+// obsReg is the registry Observe installed; nil means no metrics.
+var obsReg *obs.Registry
+
+// Observe routes the engine metrics of every subsequent driver
+// simulation into reg, so a CLI can snapshot a whole experiment suite
+// with one registry. Pass nil to disable. Not safe to call while
+// drivers are running.
+func Observe(reg *obs.Registry) { obsReg = reg }
+
 // runPolicy executes a benchmark under a policy for each seed and
 // returns the per-seed results. The workload is regenerated per seed so
 // jitter varies alongside victim selection.
@@ -41,6 +51,7 @@ func runPolicy(cfg machine.Config, b workloads.Benchmark, mk func() sched.Policy
 		w := b.Workload(seed)
 		params := sched.DefaultParams()
 		params.Seed = seed
+		params.Obs = obsReg
 		res, err := sched.Run(cfg, w, mk(), params)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s/%s seed %d: %w", b.Name, mk().Name(), seed, err)

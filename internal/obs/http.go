@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler returns an http.Handler exposing the registry:
+//
+//	/metrics      — Prometheus text exposition
+//	/debug/vars   — JSON snapshot of every family (plus events when the
+//	                registry's sink is a *Ring, under "events")
+//	/debug/pprof  — the standard Go profiling endpoints
+//
+// The handler is safe to serve while the registry is being written.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		snap := r.Snapshot()
+		if r != nil {
+			if ring, ok := r.Events.(*Ring); ok {
+				snap["events"] = ring.Events()
+			}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(snap)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts an HTTP server for Handler(r) on addr (":0" picks a free
+// port). It returns the bound address and a shutdown function. The
+// server runs until the shutdown function is called.
+func Serve(addr string, r *Registry) (net.Addr, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: Handler(r), ReadHeaderTimeout: 10 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr(), srv.Close, nil
+}

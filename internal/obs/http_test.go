@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHandlerMetrics(t *testing.T) {
+	srv := httptest.NewServer(Handler(buildSample()))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(string(body), "jobs_total 3") {
+		t.Errorf("/metrics body:\n%s", body)
+	}
+}
+
+func TestHandlerDebugVars(t *testing.T) {
+	reg := buildSample()
+	ring := NewRing(8)
+	reg.Events = ring
+	ring.Emit(Event{Time: 1, Name: "batch", Core: -1, Value: 0.5})
+
+	srv := httptest.NewServer(Handler(reg))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("/debug/vars does not parse: %v", err)
+	}
+	if snap["jobs_total"] != 3.0 {
+		t.Errorf("jobs_total = %v", snap["jobs_total"])
+	}
+	evs, ok := snap["events"].([]any)
+	if !ok || len(evs) != 1 {
+		t.Errorf("events = %v", snap["events"])
+	}
+}
+
+func TestServe(t *testing.T) {
+	addr, stop, err := Serve("127.0.0.1:0", buildSample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr.String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "depth 7") {
+		t.Errorf("served metrics:\n%s", body)
+	}
+	if err := stop(); err != nil {
+		t.Errorf("stop: %v", err)
+	}
+	if _, err := http.Get("http://" + addr.String() + "/metrics"); err == nil {
+		t.Error("server still reachable after stop")
+	}
+}

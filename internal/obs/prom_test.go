@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func buildSample() *Registry {
+	r := NewRegistry()
+	r.Counter("jobs_total", "Jobs run.").Add(3)
+	r.Gauge("depth", "Queue depth.").Set(7)
+	h := r.Histogram("latency_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(10)
+	v := r.CounterVec("steals_total", "Steals by victim.", "victim")
+	v.With("0").Add(4)
+	v.With("1").Add(1)
+	return r
+}
+
+func TestWritePrometheus(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildSample().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP jobs_total Jobs run.\n# TYPE jobs_total counter\njobs_total 3\n",
+		"# TYPE depth gauge\ndepth 7\n",
+		"# TYPE latency_seconds histogram\n",
+		`latency_seconds_bucket{le="0.1"} 1`,
+		`latency_seconds_bucket{le="1"} 2`,
+		`latency_seconds_bucket{le="+Inf"} 3`,
+		"latency_seconds_sum 10.55\nlatency_seconds_count 3\n",
+		`steals_total{victim="0"} 4`,
+		`steals_total{victim="1"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Registration order must be stable: jobs before depth before
+	// latency before steals.
+	idx := func(s string) int { return strings.Index(out, "# TYPE "+s) }
+	if !(idx("jobs_total") < idx("depth") && idx("depth") < idx("latency_seconds") && idx("latency_seconds") < idx("steals_total")) {
+		t.Errorf("families out of registration order:\n%s", out)
+	}
+
+	// A second export must be byte-identical (determinism).
+	var buf2 bytes.Buffer
+	r := buildSample()
+	if err := r.WritePrometheus(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf2.String() != out {
+		t.Error("identical registries exported different text")
+	}
+}
+
+func TestSnapshotAndJSON(t *testing.T) {
+	r := buildSample()
+	snap := r.Snapshot()
+	if snap["jobs_total"] != 3.0 {
+		t.Errorf("jobs_total = %v", snap["jobs_total"])
+	}
+	kids, ok := snap["steals_total"].(map[string]any)
+	if !ok || kids["victim=0"] != 4.0 {
+		t.Errorf("steals_total = %v", snap["steals_total"])
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("WriteJSON output does not parse: %v", err)
+	}
+	hist, ok := decoded["latency_seconds"].(map[string]any)
+	if !ok || hist["count"] != 3.0 {
+		t.Errorf("latency snapshot = %v", decoded["latency_seconds"])
+	}
+}

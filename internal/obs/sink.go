@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Event is one structured scheduler event. Time is in the emitting
+// layer's clock — simulated seconds for internal/sched, wall seconds
+// since run start for internal/rt. Core is -1 for machine-wide events.
+type Event struct {
+	Time  float64 `json:"t"`
+	Name  string  `json:"name"`
+	Core  int     `json:"core"`
+	Label string  `json:"label,omitempty"`
+	Value float64 `json:"value"`
+}
+
+// Sink receives structured events. Implementations must be safe for
+// concurrent Emit calls.
+type Sink interface {
+	Emit(Event)
+}
+
+// Ring is a fixed-capacity event sink that keeps the most recent
+// events — bounded memory no matter how long a run is.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []Event
+	next int
+	full bool
+}
+
+// NewRing returns a sink holding the last n events (n ≥ 1).
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring{buf: make([]Event, n)}
+}
+
+// Emit implements Sink.
+func (r *Ring) Emit(e Event) {
+	r.mu.Lock()
+	r.buf[r.next] = e
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// Events returns the retained events, oldest first.
+func (r *Ring) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		return append([]Event(nil), r.buf[:r.next]...)
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// WriteJSONL writes the retained events as JSON lines.
+func (r *Ring) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range r.Events() {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,103 @@
+package rt
+
+import (
+	"strconv"
+
+	"repro/internal/obs"
+)
+
+// rtObs bundles the live runtime's metric handles. Every handle is nil
+// when the registry is nil, and every method on a nil handle is a
+// no-op, so the instrumented sites cost one pointer check when
+// observability is off. All observations happen at batch boundaries —
+// the worker hot loop reports through the pre-existing atomics and is
+// never touched.
+type rtObs struct {
+	reg *obs.Registry
+
+	batches   *obs.Counter
+	tasks     *obs.Counter
+	steals    *obs.Counter
+	wallSecs  *obs.Counter
+	batchSecs *obs.Histogram
+
+	busySecs    *obs.Counter
+	idleSecs    *obs.Counter
+	barrierSecs *obs.Counter
+
+	poolDepth *obs.Histogram
+	dvfs      *obs.Counter
+	energy    *obs.Counter
+
+	census []*obs.Gauge // by frequency level
+
+	adjInv  *obs.Counter
+	adjHost *obs.Counter
+}
+
+func newRTObs(reg *obs.Registry, levels int) rtObs {
+	o := rtObs{
+		reg:     reg,
+		batches: reg.Counter("eewa_rt_batches_total", "Batches executed by the live runtime."),
+		tasks:   reg.Counter("eewa_rt_tasks_total", "Tasks executed by the live runtime."),
+		steals:  reg.Counter("eewa_rt_steals_total", "Non-local task acquisitions in the live runtime."),
+		wallSecs: reg.Counter("eewa_rt_wall_seconds_total",
+			"Wall-clock seconds spent inside RunBatch."),
+		batchSecs: reg.Histogram("eewa_rt_batch_seconds",
+			"Per-batch wall-clock duration in seconds.", obs.ExpBuckets(1e-3, 2, 14)),
+		busySecs: reg.Counter("eewa_rt_worker_busy_seconds_total",
+			"Worker-seconds spent executing task payloads (duty-cycle stretched)."),
+		idleSecs: reg.Counter("eewa_rt_worker_idle_seconds_total",
+			"Worker-seconds spent searching for work (probe/steal/sleep)."),
+		barrierSecs: reg.Counter("eewa_rt_worker_barrier_seconds_total",
+			"Worker-seconds spent waiting at the batch barrier after running dry."),
+		poolDepth: reg.Histogram("eewa_rt_pool_depth",
+			"Tasks placed into each worker's pools at batch start.", obs.ExpBuckets(1, 2, 12)),
+		dvfs: reg.Counter("eewa_rt_dvfs_transitions_total",
+			"Emulated frequency-level changes applied to workers."),
+		energy: reg.Counter("eewa_rt_energy_joules_total",
+			"Modeled energy consumed by the live runtime (joules)."),
+		adjInv: reg.Counter("eewa_rt_adjuster_invocations_total",
+			"Invocations of the workload-aware frequency adjuster."),
+		adjHost: reg.Counter("eewa_rt_adjuster_host_seconds_total",
+			"Host wall time spent inside the frequency adjuster."),
+	}
+	if reg != nil {
+		censusVec := reg.GaugeVec("eewa_rt_census_workers",
+			"Workers currently clocked at each frequency level.", "level")
+		o.census = make([]*obs.Gauge, levels)
+		for j := range o.census {
+			o.census[j] = censusVec.With(strconv.Itoa(j))
+		}
+	}
+	return o
+}
+
+// observeBatch records one completed batch. depths holds the number of
+// tasks placed on each worker at batch start (nil when the registry is
+// disabled).
+func (o *rtObs) observeBatch(bs BatchStats, busy, idle, barrier float64, depths []int) {
+	if o.reg == nil {
+		return
+	}
+	o.batches.Inc()
+	o.tasks.Add(float64(bs.Tasks))
+	o.steals.Add(float64(bs.Steals))
+	o.wallSecs.Add(bs.Wall.Seconds())
+	o.batchSecs.Observe(bs.Wall.Seconds())
+	o.busySecs.Add(busy)
+	o.idleSecs.Add(idle)
+	o.barrierSecs.Add(barrier)
+	o.energy.Add(bs.Energy)
+	for _, d := range depths {
+		o.poolDepth.Observe(float64(d))
+	}
+	for j, n := range bs.Census {
+		if j < len(o.census) {
+			o.census[j].Set(float64(n))
+		}
+	}
+	if o.reg.HasEvents() {
+		o.reg.Emit(obs.Event{Name: "rt_batch", Value: bs.Wall.Seconds()})
+	}
+}

@@ -1,0 +1,100 @@
+package rt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestObsIntegration runs the live runtime with a registry attached and
+// cross-checks the metric families against RunStats.
+func TestObsIntegration(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := testConfig(4, PolicyEEWA)
+	cfg.Obs = reg
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := func() []Task {
+		tasks := make([]Task, 24)
+		for i := range tasks {
+			d := 300 * time.Microsecond
+			if i < 4 {
+				d = 2 * time.Millisecond
+			}
+			cls := "light"
+			if i < 4 {
+				cls = "heavy"
+			}
+			tasks[i] = Task{Class: cls, Run: spinFor(d)}
+		}
+		return tasks
+	}
+	for b := 0; b < 3; b++ {
+		rt.RunBatch(batch())
+	}
+	st := rt.Stats()
+
+	if got := reg.Counter("eewa_rt_batches_total", "").Value(); got != float64(st.Batches) {
+		t.Errorf("batches = %g, stats = %d", got, st.Batches)
+	}
+	if got := reg.Counter("eewa_rt_tasks_total", "").Value(); got != float64(st.Tasks) {
+		t.Errorf("tasks = %g, stats = %d", got, st.Tasks)
+	}
+	if got := reg.Counter("eewa_rt_steals_total", "").Value(); got != float64(st.Steals) {
+		t.Errorf("steals = %g, stats = %d", got, st.Steals)
+	}
+	if got := reg.Counter("eewa_rt_energy_joules_total", "").Value(); got <= 0 || got > st.Energy+1e-9 {
+		t.Errorf("energy = %g, stats = %g", got, st.Energy)
+	}
+	if got := reg.Histogram("eewa_rt_batch_seconds", "", nil).Count(); got != uint64(st.Batches) {
+		t.Errorf("batch histogram count = %d, want %d", got, st.Batches)
+	}
+	// Every task was placed on some worker, so pool-depth observations
+	// must sum to the task count.
+	if got := reg.Histogram("eewa_rt_pool_depth", "", nil).Sum(); got != float64(st.Tasks) {
+		t.Errorf("pool depth sum = %g, want %d", got, st.Tasks)
+	}
+	// Busy time is real work and must be positive.
+	if reg.Counter("eewa_rt_worker_busy_seconds_total", "").Value() <= 0 {
+		t.Error("no busy seconds recorded")
+	}
+	// EEWA planned before batches 2 and 3.
+	if got := reg.Counter("eewa_rt_adjuster_invocations_total", "").Value(); got != 2 {
+		t.Errorf("adjuster invocations = %g, want 2", got)
+	}
+	// Census gauges cover every worker.
+	censusVec := reg.GaugeVec("eewa_rt_census_workers", "", "level")
+	total := 0.0
+	for _, lbl := range []string{"0", "1", "2", "3"} {
+		total += censusVec.With(lbl).Value()
+	}
+	if total != 4 {
+		t.Errorf("census gauges sum to %g, want 4 workers", total)
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "eewa_rt_dvfs_transitions_total") {
+		t.Error("export missing DVFS family")
+	}
+}
+
+// TestObsDisabled checks the runtime works identically with no
+// registry (the nil path every benchmark takes).
+func TestObsDisabled(t *testing.T) {
+	rt, err := New(testConfig(2, PolicyCilk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := rt.RunBatch([]Task{{Class: "x", Run: func() {}}, {Class: "x", Run: func() {}}})
+	if bs.Tasks != 2 {
+		t.Errorf("tasks = %d, want 2", bs.Tasks)
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/deque"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/xrand"
 )
@@ -79,6 +80,12 @@ type Config struct {
 	Policy Policy
 	// Seed drives victim selection.
 	Seed uint64
+	// Obs, when non-nil, receives the runtime's metrics: per-batch wall
+	// time, worker busy/idle/barrier seconds, placement pool depths,
+	// emulated DVFS transitions, census gauges and modeled energy (see
+	// internal/obs). All observations happen at batch boundaries; the
+	// worker hot loop is untouched, and a nil registry costs nothing.
+	Obs *obs.Registry
 }
 
 // BatchStats summarizes one batch.
@@ -118,6 +125,9 @@ type Runtime struct {
 	batchIndex int
 	idealTime  time.Duration
 
+	ro          rtObs
+	lastAdjHost time.Duration
+
 	stats RunStats
 }
 
@@ -141,6 +151,7 @@ func New(cfg Config) (*Runtime, error) {
 		prof:   profile.New(mc.Freqs),
 		levels: make([]int, cfg.Workers),
 		asn:    cgroup.AllFast(cfg.Workers, nil),
+		ro:     newRTObs(cfg.Obs, len(mc.Freqs)),
 	}
 	return r, nil
 }
@@ -180,21 +191,29 @@ func (r *Runtime) RunBatch(tasks []Task) BatchStats {
 	// under EEWA after the first batch, round-robin otherwise.
 	nextByClass := map[string]int{}
 	nextRR := make([]int, u)
+	var depths []int // per-worker placement count, metrics only
+	if r.ro.reg != nil {
+		depths = make([]int, n)
+	}
 	for i := range tasks {
 		t := &tasks[i]
+		var w int
 		if r.cfg.Policy == PolicyEEWA && r.batchIndex > 0 {
 			g := r.asn.GroupOfClass(t.Class)
 			members := r.asn.PlacementCores(t.Class)
-			w := members[nextByClass[t.Class]%len(members)]
+			w = members[nextByClass[t.Class]%len(members)]
 			nextByClass[t.Class]++
 			pools[w][g].PushBottom(t)
-			continue
+		} else {
+			g := r.asn.CoreGroup[i%n]
+			members := r.asn.Groups[g].Cores
+			w = members[nextRR[g]%len(members)]
+			nextRR[g]++
+			pools[w][g].PushBottom(t)
 		}
-		g := r.asn.CoreGroup[i%n]
-		members := r.asn.Groups[g].Cores
-		w := members[nextRR[g]%len(members)]
-		nextRR[g]++
-		pools[w][g].PushBottom(t)
+		if depths != nil {
+			depths[w]++
+		}
 	}
 
 	prefs := cgroup.PreferenceLists(u)
@@ -257,6 +276,7 @@ func (r *Runtime) RunBatch(tasks []Task) BatchStats {
 	// the worker's level, the barrier-wait remainder as halted.
 	pm := r.cfg.Machine.Power
 	energy := pm.Base * wall.Seconds()
+	var busyTot, spinTot, haltTot float64
 	for w := 0; w < n; w++ {
 		level := r.levels[w]
 		busy := time.Duration(busyNS[w].Load()).Seconds()
@@ -265,6 +285,9 @@ func (r *Runtime) RunBatch(tasks []Task) BatchStats {
 		if halt < 0 {
 			halt = 0
 		}
+		busyTot += busy
+		spinTot += spin
+		haltTot += halt
 		// The live runtime has no package topology: use own-level
 		// voltage (PackageSize 1 semantics).
 		energy += busy * pm.CorePower(machine.Busy, level, level, r.ladder)
@@ -289,6 +312,7 @@ func (r *Runtime) RunBatch(tasks []Task) BatchStats {
 	r.stats.Wall += wall
 	r.stats.Energy += energy
 	r.stats.Steals += bs.Steals
+	r.ro.observeBatch(bs, busyTot, spinTot, haltTot, depths)
 	return bs
 }
 
@@ -314,12 +338,27 @@ func (r *Runtime) plan() {
 	r.profMu.Unlock()
 	asn, _ := r.adj.Adjust(classes, r.idealTime.Seconds())
 	r.asn = asn
+	if r.ro.reg != nil {
+		r.ro.adjInv.Inc()
+		r.ro.adjHost.Add((r.adj.HostTime - r.lastAdjHost).Seconds())
+		r.lastAdjHost = r.adj.HostTime
+	}
 	r.applyLevels()
 }
 
 func (r *Runtime) applyLevels() {
+	transitions := 0
 	for w := range r.levels {
-		r.levels[w] = r.asn.FreqOf(w)
+		next := r.asn.FreqOf(w)
+		if next != r.levels[w] {
+			transitions++
+		}
+		r.levels[w] = next
+	}
+	// The very first application clocks workers from their zero-value
+	// level, which is not a transition.
+	if r.batchIndex > 0 {
+		r.ro.dvfs.Add(float64(transitions))
 	}
 }
 

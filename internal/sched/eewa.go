@@ -106,7 +106,7 @@ func (e *EEWA) BeginBatch(bi int, prof *profile.Profiler, env *Env) Plan {
 			asn, ok := e.adj.Adjust(e.Offline.Classes, e.Offline.T)
 			host := e.adj.HostTime - hostBefore
 			if ok {
-				return Plan{Assignment: asn, Overhead: env.AdjusterCharge, HostTime: host}
+				return Plan{Assignment: asn, Overhead: env.AdjusterCharge, HostTime: host, SearchSteps: e.adj.LastSteps}
 			}
 		}
 		// No workload information yet: all cores at the highest
@@ -136,7 +136,7 @@ func (e *EEWA) BeginBatch(bi int, prof *profile.Profiler, env *Env) Plan {
 				ScatterAll:  true,
 			}
 		case core.MemOK:
-			return Plan{Assignment: asn, Overhead: env.AdjusterCharge, HostTime: host}
+			return Plan{Assignment: asn, Overhead: env.AdjusterCharge, HostTime: host, SearchSteps: e.adj.LastSteps}
 		default:
 			classic.Overhead = env.AdjusterCharge
 			classic.HostTime = host
@@ -160,9 +160,10 @@ func (e *EEWA) BeginBatch(bi int, prof *profile.Profiler, env *Env) Plan {
 		return classic
 	}
 	return Plan{
-		Assignment: asn,
-		Overhead:   env.AdjusterCharge,
-		HostTime:   host,
+		Assignment:  asn,
+		Overhead:    env.AdjusterCharge,
+		HostTime:    host,
+		SearchSteps: e.adj.LastSteps,
 	}
 }
 

@@ -2,14 +2,78 @@ package sched
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/cgroup"
 	"repro/internal/event"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/task"
 	"repro/internal/xrand"
 )
+
+// engineObs bundles the engine's resolved metric handles. Every field
+// is nil when no registry is attached; all obs types no-op on nil
+// receivers, so instrumented sites cost one pointer check when
+// observability is off. The only guarded sites are the slice-indexed
+// per-group counters inside the steal loops.
+type engineObs struct {
+	reg *obs.Registry
+
+	stealAttempts []*obs.Counter // indexed by victim c-group
+	steals        []*obs.Counter
+	census        []*obs.Counter // indexed by frequency level
+	probeMisses   *obs.Counter
+	tasks         *obs.Counter
+	migrations    *obs.Counter
+	batches       *obs.Counter
+	batchSeconds  *obs.Histogram
+	energy        *obs.Counter
+	dvfs          *obs.Counter
+	adjInv        *obs.Counter
+	adjOverhead   *obs.Counter
+	adjHost       *obs.Counter
+	searchSteps   *obs.Histogram
+	makespan      *obs.Gauge
+	runs          *obs.Counter
+}
+
+// newEngineObs registers the simulator's metric families on reg and
+// resolves fixed-cardinality children up front (victim c-groups and
+// frequency levels are both bounded by the ladder length), so the hot
+// path never takes the registry lock.
+func newEngineObs(reg *obs.Registry, levels int) engineObs {
+	if reg == nil {
+		return engineObs{}
+	}
+	o := engineObs{
+		reg:          reg,
+		probeMisses:  reg.Counter("eewa_sim_probe_misses_total", "Pool inspections that found no task."),
+		tasks:        reg.Counter("eewa_sim_tasks_total", "Tasks executed."),
+		migrations:   reg.Counter("eewa_sim_migrations_total", "Tasks executed outside their class's allocated c-group."),
+		batches:      reg.Counter("eewa_sim_batches_total", "Batches executed."),
+		batchSeconds: reg.Histogram("eewa_sim_batch_seconds", "Per-batch simulated duration.", obs.ExpBuckets(1e-3, 2, 14)),
+		energy:       reg.Counter("eewa_sim_energy_joules_total", "Whole-machine simulated energy."),
+		dvfs:         reg.Counter("eewa_sim_dvfs_transitions_total", "Core frequency switches."),
+		adjInv:       reg.Counter("eewa_sim_adjuster_invocations_total", "Batches that charged a frequency-adjuster decision."),
+		adjOverhead:  reg.Counter("eewa_sim_adjuster_overhead_seconds_total", "Simulated adjuster charge."),
+		adjHost:      reg.Counter("eewa_sim_adjuster_host_seconds_total", "Measured host time of adjuster decisions."),
+		searchSteps:  reg.Histogram("eewa_sim_adjuster_search_steps", "Select attempts per Algorithm 1 tuple search.", obs.ExpBuckets(1, 2, 11)),
+		makespan:     reg.Gauge("eewa_sim_makespan_seconds", "Makespan of the most recent run."),
+		runs:         reg.Counter("eewa_sim_runs_total", "Completed simulation runs."),
+	}
+	attemptVec := reg.CounterVec("eewa_sim_steal_attempts_total", "Remote pool probes by victim c-group.", "victim_group")
+	stealVec := reg.CounterVec("eewa_sim_steals_total", "Successful remote steals by victim c-group.", "victim_group")
+	censusVec := reg.CounterVec("eewa_sim_census_core_seconds_total", "Core-seconds of batch residency by frequency level (the paper's Fig. 8 census, integrated).", "level")
+	for i := 0; i < levels; i++ {
+		l := strconv.Itoa(i)
+		o.stealAttempts = append(o.stealAttempts, attemptVec.With(l))
+		o.steals = append(o.steals, stealVec.With(l))
+		o.census = append(o.census, censusVec.With(l))
+	}
+	return o
+}
 
 // pool is a simulated task pool: the owner pops from the back (LIFO),
 // thieves steal from the front (FIFO), matching the deque semantics of
@@ -64,6 +128,16 @@ type engine struct {
 	lastCompletion float64
 	batchStart     float64
 
+	// Observability state: spanRec mirrors params.Recorder when it also
+	// captures steal/idle intervals; idleAt[c] is when core c ran out of
+	// work this batch (-1 while it still has work); lastEnergy/lastDVFS
+	// are the previous batch boundary's cumulative values, for deltas.
+	eo         engineObs
+	spanRec    SpanRecorder
+	idleAt     []float64
+	lastEnergy float64
+	lastDVFS   int
+
 	res *Result
 }
 
@@ -93,6 +167,11 @@ func Run(cfg machine.Config, w *task.Workload, p Policy, params Params) (*Result
 	for c := range e.victimRNG {
 		e.victimRNG[c] = seedRNG.Split()
 	}
+	e.eo = newEngineObs(params.Obs, len(cfg.Freqs))
+	if sr, ok := params.Recorder.(SpanRecorder); ok {
+		e.spanRec = sr
+	}
+	e.idleAt = make([]float64, cfg.Cores)
 
 	env := &Env{Cfg: cfg, AdjusterCharge: params.AdjusterCharge}
 	for bi := range w.Batches {
@@ -106,6 +185,8 @@ func Run(cfg machine.Config, w *task.Workload, p Policy, params Params) (*Result
 
 	now := e.q.Now()
 	e.m.Sync(now)
+	e.eo.makespan.Set(now)
+	e.eo.runs.Inc()
 	e.res.Makespan = now
 	e.res.Energy = e.m.EnergyAt(now)
 	e.res.CoreEnergy = e.m.CoreEnergyAt(now)
@@ -170,12 +251,16 @@ func (e *engine) runBatch(bi int, b *task.Batch, env *Env) error {
 		now += e.cfg.DVFSLatency
 	}
 
-	e.res.BatchCensus = append(e.res.BatchCensus, e.m.FreqCensus())
+	census := e.m.FreqCensus()
+	e.res.BatchCensus = append(e.res.BatchCensus, census)
 
 	e.place(b)
 	e.remaining = len(b.Tasks)
 	e.batchStart = now
 	e.lastCompletion = now
+	for c := range e.idleAt {
+		e.idleAt[c] = -1
+	}
 
 	for c := 0; c < e.cfg.Cores; c++ {
 		c := c
@@ -183,10 +268,19 @@ func (e *engine) runBatch(bi int, b *task.Batch, env *Env) error {
 	}
 	e.q.Run()
 
-	e.res.BatchTimes = append(e.res.BatchTimes, e.lastCompletion-e.batchStart)
+	dur := e.lastCompletion - e.batchStart
+	e.res.BatchTimes = append(e.res.BatchTimes, dur)
 	if e.remaining != 0 {
 		return fmt.Errorf("sched: batch %d finished with %d tasks unexecuted", bi, e.remaining)
 	}
+	if e.spanRec != nil {
+		for c, ts := range e.idleAt {
+			if ts >= 0 && e.lastCompletion > ts {
+				e.spanRec.RecordIdle(c, ts, e.lastCompletion)
+			}
+		}
+	}
+	e.observeBatch(bi, dur, census, plan)
 	// Advance the clock to the barrier (the queue's clock stops at the
 	// last event, which is the final core going idle ≈ lastCompletion).
 	if _, ok := e.q.NextTime(); ok {
@@ -194,6 +288,45 @@ func (e *engine) runBatch(bi int, b *task.Batch, env *Env) error {
 	}
 	e.q.RunUntil(e.lastCompletion)
 	return nil
+}
+
+// observeBatch publishes one batch's metrics and events; it is a no-op
+// without a registry.
+func (e *engine) observeBatch(bi int, dur float64, census []int, plan Plan) {
+	if e.eo.reg == nil {
+		return
+	}
+	e.eo.batches.Inc()
+	e.eo.batchSeconds.Observe(dur)
+	for lvl, n := range census {
+		if n > 0 && lvl < len(e.eo.census) {
+			e.eo.census[lvl].Add(dur * float64(n))
+		}
+	}
+	en := e.m.EnergyAt(e.lastCompletion)
+	e.eo.energy.Add(en - e.lastEnergy)
+	e.lastEnergy = en
+	e.eo.dvfs.Add(float64(e.m.DVFSTransitions - e.lastDVFS))
+	e.lastDVFS = e.m.DVFSTransitions
+	if plan.Overhead > 0 {
+		e.eo.adjInv.Inc()
+		e.eo.adjOverhead.Add(plan.Overhead)
+		e.eo.adjHost.Add(plan.HostTime.Seconds())
+		e.eo.searchSteps.Observe(float64(plan.SearchSteps))
+	}
+	if e.eo.reg.HasEvents() {
+		e.eo.reg.Emit(obs.Event{
+			Time: e.lastCompletion, Name: "batch", Core: -1,
+			Label: e.policy.Name(), Value: dur,
+		})
+		if plan.Overhead > 0 {
+			e.eo.reg.Emit(obs.Event{
+				Time: e.batchStart, Name: "adjust", Core: -1,
+				Label: fmt.Sprintf("batch %d tuple %v", bi, plan.Assignment.Tuple),
+				Value: plan.Overhead,
+			})
+		}
+	}
 }
 
 // place distributes the batch's tasks into pools per the plan.
@@ -228,9 +361,11 @@ func (e *engine) place(b *task.Batch) {
 // coreFree fires every time core c needs new work.
 func (e *engine) coreFree(c int) {
 	now := e.q.Now()
-	t, probes, stolen := e.acquire(c)
+	t, probes, stolen, victimG := e.acquire(c)
 	e.res.Probes += probes
 	if t == nil {
+		e.eo.probeMisses.Add(float64(probes))
+		e.idleAt[c] = now
 		act := e.policy.OutOfWork(c)
 		if act.FreqLevel >= 0 {
 			e.m.SetFreq(now, c, act.FreqLevel)
@@ -238,16 +373,22 @@ func (e *engine) coreFree(c int) {
 		e.m.SetState(now, c, act.State)
 		return
 	}
+	e.eo.probeMisses.Add(float64(probes - 1))
+	e.eo.tasks.Inc()
 	if stolen {
 		e.res.Steals++
 	}
 	if e.asn.GroupOfClass(t.Class) != e.asn.CoreGroup[c] {
 		e.res.Migrated++
+		e.eo.migrations.Inc()
 	}
 
 	lead := float64(probes) * e.params.ProbeCost
 	if stolen {
 		lead += e.params.StealCost
+		if e.spanRec != nil && lead > 0 {
+			e.spanRec.RecordSteal(c, now, now+lead, victimG)
+		}
 	}
 	level := e.m.Freq(c)
 	exec := t.TimeAt(e.cfg.Freqs.Ratio(level))
@@ -271,15 +412,17 @@ func (e *engine) complete(c int, t *task.Task, exec float64, level int) {
 }
 
 // acquire finds the next task for core c, returning the task, the
-// number of pools probed and whether it was a remote steal.
-func (e *engine) acquire(c int) (*task.Task, int, bool) {
+// number of pools probed, whether it was a remote steal, and the victim
+// c-group of a successful steal (-1 otherwise).
+func (e *engine) acquire(c int) (*task.Task, int, bool, int) {
 	probes := 0
 	myG := e.asn.CoreGroup[c]
+	counted := e.eo.stealAttempts != nil
 
 	// Local pool first — both disciplines.
 	probes++
 	if t := e.pools[c][myG].popBottom(); t != nil {
-		return t, probes, false
+		return t, probes, false, -1
 	}
 
 	if e.plan.RandomSteal {
@@ -291,11 +434,18 @@ func (e *engine) acquire(c int) (*task.Task, int, bool) {
 				continue
 			}
 			probes++
-			if t := e.pools[v][e.asn.CoreGroup[v]].stealTop(); t != nil {
-				return t, probes, true
+			g := e.asn.CoreGroup[v]
+			if counted {
+				e.eo.stealAttempts[g].Inc()
+			}
+			if t := e.pools[v][g].stealTop(); t != nil {
+				if counted {
+					e.eo.steals[g].Inc()
+				}
+				return t, probes, true, g
 			}
 		}
-		return nil, probes, false
+		return nil, probes, false, -1
 	}
 
 	// Preference-based stealing (paper §III-B): own group's pools in
@@ -307,10 +457,16 @@ func (e *engine) acquire(c int) (*task.Task, int, bool) {
 				continue // already checked local
 			}
 			probes++
+			if counted {
+				e.eo.stealAttempts[g].Inc()
+			}
 			if t := e.pools[v][g].stealTop(); t != nil {
-				return t, probes, true
+				if counted {
+					e.eo.steals[g].Inc()
+				}
+				return t, probes, true, g
 			}
 		}
 	}
-	return nil, probes, false
+	return nil, probes, false, -1
 }

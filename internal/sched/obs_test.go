@@ -1,0 +1,125 @@
+package sched
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/obs"
+	"repro/internal/workloads"
+)
+
+// TestObsIntegration runs a real EEWA simulation with a registry
+// attached and checks the engine's metric families against the result
+// struct, so the two reporting paths cannot drift apart silently.
+func TestObsIntegration(t *testing.T) {
+	cfg := machine.Opteron16()
+	b, err := workloads.ByName("sha1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	ring := obs.NewRing(256)
+	reg.Events = ring
+	params := DefaultParams()
+	params.Obs = reg
+	res, err := Run(cfg, b.Workload(1), NewEEWA(), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got := reg.Counter("eewa_sim_tasks_total", "").Value(); got != float64(totalTasks(b)) {
+		t.Errorf("tasks_total = %g, want %d", got, totalTasks(b))
+	}
+	if got := reg.Counter("eewa_sim_energy_joules_total", "").Value(); !close(got, res.Energy, 1e-6) {
+		t.Errorf("energy counter = %g, result = %g", got, res.Energy)
+	}
+	if got := reg.Gauge("eewa_sim_makespan_seconds", "").Value(); !close(got, res.Makespan, 1e-9) {
+		t.Errorf("makespan gauge = %g, result = %g", got, res.Makespan)
+	}
+	if got := reg.Counter("eewa_sim_migrations_total", "").Value(); got != float64(res.Migrated) {
+		t.Errorf("migrations = %g, result = %d", got, res.Migrated)
+	}
+	if got := reg.Counter("eewa_sim_dvfs_transitions_total", "").Value(); got != float64(res.DVFSTransitions) {
+		t.Errorf("dvfs = %g, result = %d", got, res.DVFSTransitions)
+	}
+	if got := reg.Histogram("eewa_sim_batch_seconds", "", nil).Count(); got != uint64(len(res.BatchTimes)) {
+		t.Errorf("batch histogram count = %d, result has %d batches", got, len(res.BatchTimes))
+	}
+
+	// Per-victim steal counters must sum to the result's steal count,
+	// and steals cannot exceed attempts group by group.
+	stealVec := reg.CounterVec("eewa_sim_steals_total", "", "victim_group")
+	attemptVec := reg.CounterVec("eewa_sim_steal_attempts_total", "", "victim_group")
+	sum := 0.0
+	for g := 0; g < len(cfg.Freqs); g++ {
+		lbl := []string{"0", "1", "2", "3"}[g]
+		s, a := stealVec.With(lbl).Value(), attemptVec.With(lbl).Value()
+		if s > a {
+			t.Errorf("group %s: steals %g > attempts %g", lbl, s, a)
+		}
+		sum += s
+	}
+	if sum != float64(res.Steals) {
+		t.Errorf("steal counters sum to %g, result = %d", sum, res.Steals)
+	}
+
+	// Census residency covers the task-execution window of every batch
+	// (the adjuster-charge and DVFS-latency windows are excluded), so it
+	// must sum to Σ batch times × cores.
+	censusVec := reg.CounterVec("eewa_sim_census_core_seconds_total", "", "level")
+	resid := 0.0
+	for _, lbl := range []string{"0", "1", "2", "3"} {
+		resid += censusVec.With(lbl).Value()
+	}
+	batchSum := 0.0
+	for _, bt := range res.BatchTimes {
+		batchSum += bt
+	}
+	if want := batchSum * float64(cfg.Cores); !close(resid, want, 1e-6) {
+		t.Errorf("census residency = %g, want Σbatch×cores = %g", resid, want)
+	}
+
+	// The adjuster runs for every batch after the first.
+	if got := reg.Counter("eewa_sim_adjuster_invocations_total", "").Value(); got != float64(len(res.BatchTimes)-1) {
+		t.Errorf("adjuster invocations = %g, want %d", got, len(res.BatchTimes)-1)
+	}
+	if reg.Histogram("eewa_sim_adjuster_search_steps", "", nil).Sum() <= 0 {
+		t.Error("search-steps histogram saw no backtracking work")
+	}
+
+	// The event stream carries batch and adjust events.
+	names := map[string]int{}
+	for _, e := range ring.Events() {
+		names[e.Name]++
+	}
+	if names["batch"] == 0 || names["adjust"] == 0 {
+		t.Errorf("event stream missing batch/adjust events: %v", names)
+	}
+
+	// And the whole registry must export cleanly.
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "eewa_sim_probe_misses_total") {
+		t.Error("export missing probe-miss family")
+	}
+}
+
+func totalTasks(b workloads.Benchmark) int {
+	n := 0
+	for _, s := range b.Specs {
+		n += s.Count
+	}
+	return n * b.Batches
+}
+
+func close(a, b, tol float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}

@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/cgroup"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/profile"
 )
 
@@ -48,13 +49,31 @@ type Params struct {
 	// Seed drives victim selection and placement shuffles.
 	Seed uint64
 	// Recorder, when non-nil, receives one span per executed task
-	// (internal/trace.Recorder satisfies it).
+	// (internal/trace.Recorder satisfies it). If it also implements
+	// SpanRecorder, the engine additionally reports steal lead-in and
+	// terminal idle intervals.
 	Recorder Recorder
+	// Obs, when non-nil, receives the engine's metrics: steal traffic
+	// per victim c-group, probe misses, adjuster invocations and search
+	// depth, per-batch frequency-level residency and energy (see
+	// internal/obs). A nil registry costs one pointer check per metric
+	// site and allocates nothing.
+	Obs *obs.Registry
 }
 
 // Recorder receives per-task execution spans for Gantt/CSV rendering.
 type Recorder interface {
 	Record(core int, start, end float64, label string, level int)
+}
+
+// SpanRecorder extends Recorder with the intervals where time goes when
+// a core is not executing: the probe/steal lead-in before a stolen task
+// and the terminal idle wait at the batch barrier.
+// internal/trace.Recorder satisfies it.
+type SpanRecorder interface {
+	Recorder
+	RecordSteal(core int, start, end float64, victimGroup int)
+	RecordIdle(core int, start, end float64)
 }
 
 // DefaultParams returns the parameters used by every experiment in the
@@ -109,6 +128,10 @@ type Plan struct {
 	// plan on the host, accumulated into Result.AdjusterHostTime for
 	// Table III.
 	HostTime time.Duration
+	// SearchSteps is the number of Select attempts the tuple search
+	// performed for this plan (0 when no search ran) — the backtracking
+	// depth surfaced to the metrics layer.
+	SearchSteps int
 	// RandomSteal selects classic Cilk victim selection: each core
 	// uses only its own-group pool and probes every other core's
 	// own-group pool in random order, ignoring c-group structure.

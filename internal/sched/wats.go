@@ -29,6 +29,23 @@ func NewWATS(levels []int, r int) (*WATS, error) {
 	return &WATS{asn: asn}, nil
 }
 
+// DefaultWATSLevels is the frozen frequency configuration used when a
+// caller asks for WATS without specifying one: roughly a third of the
+// cores at F0 and the rest at the slowest level — the steady-state
+// shape EEWA converges to on the paper's benchmarks (Fig. 8's 5-fast /
+// 11-slow census on the 16-core Opteron).
+func DefaultWATSLevels(cores, r int) []int {
+	fast := (cores + 2) / 3
+	if fast < 1 {
+		fast = 1
+	}
+	levels := make([]int, cores)
+	for i := fast; i < cores; i++ {
+		levels[i] = r - 1
+	}
+	return levels
+}
+
 // Name implements Policy.
 func (*WATS) Name() string { return "WATS" }
 

@@ -19,7 +19,8 @@ import (
 type Grid struct {
 	// Benchmarks are Table II names; empty = all seven.
 	Benchmarks []string
-	// Policies are "cilk", "cilk-d", "eewa"; empty = all three.
+	// Policies are "cilk", "cilk-d", "wats", "eewa"; empty defaults to
+	// the Fig. 6 trio (cilk, cilk-d, eewa).
 	Policies []string
 	// Cores are machine sizes; empty = {16}.
 	Cores []int
@@ -144,6 +145,8 @@ func newPolicy(name string, cfg machine.Config) (sched.Policy, error) {
 		return sched.NewCilk(), nil
 	case "cilk-d":
 		return sched.NewCilkD(len(cfg.Freqs)), nil
+	case "wats":
+		return sched.NewWATS(sched.DefaultWATSLevels(cfg.Cores, len(cfg.Freqs)), len(cfg.Freqs))
 	case "eewa":
 		return sched.NewEEWA(), nil
 	default:

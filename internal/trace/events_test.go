@@ -1,0 +1,148 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTraceEventsEmptyRecorder(t *testing.T) {
+	r := &Recorder{}
+	if evs := r.TraceEvents(); len(evs) != 0 {
+		t.Errorf("empty recorder produced %d events, want 0", len(evs))
+	}
+	var buf bytes.Buffer
+	if err := r.WriteTraceEvents(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The file must still be a valid trace: traceEvents must be an
+	// empty array, not null, or importers reject it.
+	if !strings.Contains(buf.String(), `"traceEvents":[]`) {
+		t.Errorf("empty trace file = %s", buf.String())
+	}
+	var f TraceFile
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("empty trace file does not parse: %v", err)
+	}
+}
+
+// TestTraceEventsOverlapping checks that overlapping spans on one core
+// (an exec span with its steal lead-in and a bracketing idle wait) all
+// survive conversion with the right categories and timestamps in
+// microseconds, sorted by start time.
+func TestTraceEventsOverlapping(t *testing.T) {
+	r := &Recorder{}
+	r.RecordIdle(0, 0, 2e-6)
+	r.RecordSteal(0, 1e-6, 2e-6, 3)
+	r.Record(0, 2e-6, 5e-6, "a", 1)
+	evs := r.TraceEvents()
+
+	var meta, spans []TraceEvent
+	counters := 0
+	for _, ev := range evs {
+		switch ev.Ph {
+		case "M":
+			meta = append(meta, ev)
+		case "X":
+			spans = append(spans, ev)
+		case "C":
+			counters++
+		default:
+			t.Errorf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if len(meta) != 2 {
+		t.Errorf("got %d metadata events for one core, want 2 (name + sort index)", len(meta))
+	}
+	if len(spans) != 3 {
+		t.Fatalf("got %d X events, want 3", len(spans))
+	}
+	// Sorted by Ts: idle(0) then steal(1us) then exec(2us).
+	wantCat := []string{"idle", "steal", "exec"}
+	wantTs := []float64{0, 1, 2}
+	for i, ev := range spans {
+		if ev.Cat != wantCat[i] {
+			t.Errorf("span %d cat = %q, want %q", i, ev.Cat, wantCat[i])
+		}
+		if ev.Ts != wantTs[i] {
+			t.Errorf("span %d ts = %g us, want %g", i, ev.Ts, wantTs[i])
+		}
+		if ev.Tid != 0 {
+			t.Errorf("span %d tid = %d, want 0", i, ev.Tid)
+		}
+	}
+	if d := spans[2].Dur; d < 3-1e-9 || d > 3+1e-9 {
+		t.Errorf("exec dur = %g us, want 3", d)
+	}
+	// One exec level → one counter sample plus the closing makespan
+	// sample.
+	if counters != 2 {
+		t.Errorf("got %d counter events, want 2", counters)
+	}
+}
+
+func TestCSVSingleSpan(t *testing.T) {
+	r := &Recorder{}
+	r.Record(2, 0.5, 1.5, "solo", 3)
+	var buf bytes.Buffer
+	if err := r.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("CSV has %d lines, want header + 1 span:\n%s", len(lines), buf.String())
+	}
+	if lines[1] != "2,0.500000000,1.500000000,solo,3,exec" {
+		t.Errorf("span row = %q", lines[1])
+	}
+}
+
+// TestTraceEventsRoundTrip writes a mixed recorder as trace-event JSON
+// and reads it back, checking the document structure Perfetto relies
+// on survives encoding.
+func TestTraceEventsRoundTrip(t *testing.T) {
+	r := &Recorder{}
+	r.Record(0, 0, 1e-3, "a", 0)
+	r.Record(1, 0, 2e-3, "b", 2)
+	r.RecordSteal(1, 2e-3, 2.1e-3, 0)
+	r.Record(1, 2.1e-3, 3e-3, "a", 2)
+	r.RecordIdle(0, 1e-3, 3e-3)
+
+	var buf bytes.Buffer
+	if err := r.WriteTraceEvents(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var f TraceFile
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("trace JSON does not parse: %v", err)
+	}
+	if f.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", f.DisplayTimeUnit)
+	}
+	if len(f.TraceEvents) != len(r.TraceEvents()) {
+		t.Errorf("round trip lost events: %d != %d", len(f.TraceEvents), len(r.TraceEvents()))
+	}
+	names := map[string]bool{}
+	execs := 0
+	for _, ev := range f.TraceEvents {
+		names[ev.Name] = true
+		if ev.Ph == "X" && ev.Cat == "exec" {
+			execs++
+			lvl, ok := ev.Args["level"]
+			if !ok {
+				t.Errorf("exec event %q lost its level arg", ev.Name)
+			} else if _, isNum := lvl.(float64); !isNum {
+				t.Errorf("level arg decoded as %T, want number", lvl)
+			}
+		}
+	}
+	if execs != 3 {
+		t.Errorf("round trip has %d exec events, want 3", execs)
+	}
+	for _, want := range []string{"thread_name", "freq level core 0", "freq level core 1", "steal", "idle", "a", "b"} {
+		if !names[want] {
+			t.Errorf("round trip missing event name %q", want)
+		}
+	}
+}

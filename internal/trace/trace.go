@@ -10,23 +10,78 @@ import (
 	"strings"
 )
 
-// Span is one task execution on one core.
+// Kind classifies a span: task execution, steal/search overhead, or
+// terminal idle time before the batch barrier.
+type Kind int
+
+const (
+	// KindExec is a task execution (the only kind before the recorder
+	// grew steal/idle capture; the zero value keeps old spans valid).
+	KindExec Kind = iota
+	// KindSteal is work-search overhead: the probe/steal lead-in before
+	// a remotely acquired task starts executing.
+	KindSteal
+	// KindIdle is the terminal wait at the batch barrier after a core
+	// has exhausted every pool it may take from.
+	KindIdle
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindExec:
+		return "exec"
+	case KindSteal:
+		return "steal"
+	case KindIdle:
+		return "idle"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Span is one interval on one core.
 type Span struct {
 	Core       int
 	Start, End float64 // simulated seconds
-	Label      string  // task class
-	Level      int     // frequency level while executing
+	Label      string  // task class (exec), or "steal"/"idle"
+	Level      int     // frequency level during the span
+	Kind       Kind
 }
 
-// Recorder accumulates spans. It satisfies the sched.Recorder hook.
-// The zero value is ready to use.
+// Recorder accumulates spans. It satisfies the sched.Recorder hook (and
+// the extended sched.SpanRecorder hook, so the engine also hands it
+// steal and idle intervals). The zero value is ready to use.
 type Recorder struct {
 	Spans []Span
 }
 
-// Record implements the scheduler's trace hook.
+// Record implements the scheduler's trace hook: one task execution.
 func (r *Recorder) Record(core int, start, end float64, label string, level int) {
-	r.Spans = append(r.Spans, Span{Core: core, Start: start, End: end, Label: label, Level: level})
+	r.Spans = append(r.Spans, Span{Core: core, Start: start, End: end, Label: label, Level: level, Kind: KindExec})
+}
+
+// RecordSteal implements sched.SpanRecorder: the probe/steal lead-in
+// interval before a stolen task runs. label carries the victim c-group.
+func (r *Recorder) RecordSteal(core int, start, end float64, victimGroup int) {
+	r.Spans = append(r.Spans, Span{Core: core, Start: start, End: end, Label: "steal", Level: victimGroup, Kind: KindSteal})
+}
+
+// RecordIdle implements sched.SpanRecorder: the terminal wait at the
+// batch barrier.
+func (r *Recorder) RecordIdle(core int, start, end float64) {
+	r.Spans = append(r.Spans, Span{Core: core, Start: start, End: end, Label: "idle", Kind: KindIdle})
+}
+
+// ExecSpans returns only the task-execution spans.
+func (r *Recorder) ExecSpans() []Span {
+	out := make([]Span, 0, len(r.Spans))
+	for _, s := range r.Spans {
+		if s.Kind == KindExec {
+			out = append(out, s)
+		}
+	}
+	return out
 }
 
 // Makespan returns the latest span end (0 when empty).
@@ -61,7 +116,8 @@ var levelGlyphs = []byte{'#', '=', '-', '.', ':', '~', '_', '\''}
 // makespan. Busy time is drawn with a glyph encoding the frequency
 // level ('#' fastest, then '=', '-', '.'); idle time is blank.
 func (r *Recorder) Gantt(width int) string {
-	if len(r.Spans) == 0 || width <= 0 {
+	exec := r.ExecSpans()
+	if len(exec) == 0 || width <= 0 {
 		return "(no spans)\n"
 	}
 	makespan := r.Makespan()
@@ -69,13 +125,13 @@ func (r *Recorder) Gantt(width int) string {
 		return "(zero-length trace)\n"
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "gantt: %d spans over %.4fs ('#'=F0, '='=F1, '-'=F2, '.'=F3)\n", len(r.Spans), makespan)
+	fmt.Fprintf(&b, "gantt: %d spans over %.4fs ('#'=F0, '='=F1, '-'=F2, '.'=F3)\n", len(exec), makespan)
 	for _, c := range r.cores() {
 		row := make([]byte, width)
 		for i := range row {
 			row[i] = ' '
 		}
-		for _, s := range r.Spans {
+		for _, s := range exec {
 			if s.Core != c {
 				continue
 			}
@@ -94,32 +150,40 @@ func (r *Recorder) Gantt(width int) string {
 	return b.String()
 }
 
-// CSV writes the spans as core,start,end,label,level rows.
+// CSV writes every span (all kinds) as core,start,end,label,level,kind
+// rows.
 func (r *Recorder) CSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "core,start,end,label,level"); err != nil {
+	if _, err := fmt.Fprintln(w, "core,start,end,label,level,kind"); err != nil {
 		return err
 	}
 	for _, s := range r.Spans {
-		if _, err := fmt.Fprintf(w, "%d,%.9f,%.9f,%s,%d\n", s.Core, s.Start, s.End, s.Label, s.Level); err != nil {
+		if _, err := fmt.Fprintf(w, "%d,%.9f,%.9f,%s,%d,%s\n", s.Core, s.Start, s.End, s.Label, s.Level, s.Kind); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// BusyTime returns the summed span durations per core.
+// BusyTime returns the summed execution-span durations per core (steal
+// and idle intervals are excluded).
 func (r *Recorder) BusyTime() map[int]float64 {
 	out := map[int]float64{}
 	for _, s := range r.Spans {
+		if s.Kind != KindExec {
+			continue
+		}
 		out[s.Core] += s.End - s.Start
 	}
 	return out
 }
 
-// ClassTime returns the summed span durations per task class.
+// ClassTime returns the summed execution-span durations per task class.
 func (r *Recorder) ClassTime() map[string]float64 {
 	out := map[string]float64{}
 	for _, s := range r.Spans {
+		if s.Kind != KindExec {
+			continue
+		}
 		out[s.Label] += s.End - s.Start
 	}
 	return out

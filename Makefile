@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench cover experiments examples obs-demo clean
+.PHONY: all build vet test race bench bench-check cover experiments examples obs-demo clean
 
 all: build vet test
 
@@ -18,9 +18,17 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Full bench harness: regenerates every figure/table as bench metrics.
+# Full bench harness: Go benchmarks plus the machine-readable
+# policy × {makespan, energy, host-ns} record. BENCH_sched.json is the
+# committed baseline; the tool checks the fresh run against it (≤5%
+# cilk-normalized sim-throughput regression) before rewriting it.
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -bench=. -benchmem -run='^$$' ./...
+	$(GO) run ./cmd/eewa-benchjson -out BENCH_sched.json
+
+# CI variant: compare against the committed baseline, never rewrite.
+bench-check:
+	$(GO) run ./cmd/eewa-benchjson -check-only
 
 cover:
 	$(GO) test -cover ./...

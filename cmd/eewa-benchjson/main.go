@@ -1,0 +1,264 @@
+// Command eewa-benchjson measures the simulator across every policy
+// and writes a machine-readable benchmark record (BENCH_sched.json),
+// optionally checking it against a committed baseline.
+//
+// Two numbers per policy gate the build:
+//
+//   - makespan/energy are deterministic sim outputs and must match the
+//     baseline almost exactly — a drift means the scheduler's decisions
+//     changed;
+//   - tasks_per_sec is host throughput of the simulator, normalized to
+//     the cilk policy of the *same run* so machine speed cancels; the
+//     cilk-relative ratio may not regress more than -max-regress.
+//
+// Usage:
+//
+//	eewa-benchjson                          # check against BENCH_sched.json, then rewrite it
+//	eewa-benchjson -check-only              # CI: compare, never write
+//	eewa-benchjson -out BENCH_sched.json -seeds 3 -max-regress 0.05
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/policy"
+	"repro/internal/sched"
+	"repro/internal/workloads"
+)
+
+// PolicyRecord is one policy's measured row.
+type PolicyRecord struct {
+	MakespanS   float64 `json:"makespan_s"`
+	EnergyJ     float64 `json:"energy_j"`
+	HostNS      int64   `json:"host_ns"`
+	TasksPerSec float64 `json:"tasks_per_sec"`
+	// NormThroughput is the median across repetitions of this policy's
+	// throughput relative to cilk measured in the *same* repetition —
+	// the machine-independent number the regression check gates on.
+	NormThroughput float64 `json:"norm_throughput"`
+}
+
+// Record is the whole benchmark file.
+type Record struct {
+	Benchmark string                  `json:"benchmark"`
+	Cores     int                     `json:"cores"`
+	Seeds     int                     `json:"seeds"`
+	Policies  map[string]PolicyRecord `json:"policies"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("eewa-benchjson: ")
+	out := flag.String("out", "BENCH_sched.json", "output (and default baseline) path")
+	benchName := flag.String("bench", "all", "Table II benchmark to measure, or all (larger sample, steadier throughput)")
+	cores := flag.Int("cores", 16, "machine size")
+	seeds := flag.Int("seeds", 3, "seeds per policy (averaged)")
+	reps := flag.Int("reps", 7, "repetitions per seed; fastest rep is kept (reduces host noise)")
+	baseline := flag.String("baseline", "", "baseline path (defaults to -out when it exists)")
+	maxRegress := flag.Float64("max-regress", 0.05, "max allowed relative drop in cilk-normalized throughput")
+	checkOnly := flag.Bool("check-only", false, "compare against the baseline without rewriting it")
+	flag.Parse()
+
+	rec, err := measure(*benchName, *cores, *seeds, *reps)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	basePath := *baseline
+	if basePath == "" {
+		basePath = *out
+	}
+	if prev, err := load(basePath); err == nil {
+		if err := check(prev, rec, *maxRegress); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("baseline %s: all policies within %.0f%% of recorded throughput\n",
+			basePath, 100**maxRegress)
+	} else if *checkOnly {
+		log.Fatalf("baseline %s unreadable: %v", basePath, err)
+	} else {
+		fmt.Printf("no baseline at %s — recording fresh numbers\n", basePath)
+	}
+
+	if *checkOnly {
+		return
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rec); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+func measure(benchName string, cores, seeds, reps int) (*Record, error) {
+	var benches []workloads.Benchmark
+	if benchName == "all" {
+		benches = workloads.All()
+	} else {
+		b, err := workloads.ByName(benchName)
+		if err != nil {
+			return nil, err
+		}
+		benches = []workloads.Benchmark{b}
+	}
+	cfg := machine.Generic(cores)
+	rec := &Record{Benchmark: benchName, Cores: cores, Seeds: seeds, Policies: map[string]PolicyRecord{}}
+
+	type acc struct {
+		makespan, energy float64
+		tasks            int
+		durs             []time.Duration
+	}
+	accs := map[string]*acc{}
+	for _, name := range policy.IDs() {
+		accs[name] = &acc{}
+	}
+	// Repetitions are the outer loop so every rep measures all policies
+	// back-to-back under the same host conditions: the regression gate
+	// compares cilk-relative ratios computed *within* a rep, which makes
+	// host noise common-mode, and then takes the median across reps.
+	// Rep -1 is an untimed warmup that lets the Go runtime settle.
+	for rep := -1; rep < reps; rep++ {
+		for _, name := range policy.IDs() {
+			a := accs[name]
+			var repMakespan, repEnergy float64
+			repTasks := 0
+			start := time.Now()
+			for _, b := range benches {
+				for s := 1; s <= seeds; s++ {
+					w := b.Workload(uint64(s))
+					p, err := policy.New(name, cfg)
+					if err != nil {
+						return nil, err
+					}
+					res, err := sched.Run(cfg, w, p, sched.DefaultParams())
+					if err != nil {
+						return nil, err
+					}
+					repMakespan += res.Makespan
+					repEnergy += res.Energy
+					repTasks += w.TotalTasks()
+				}
+			}
+			if host := time.Since(start); rep >= 0 {
+				a.durs = append(a.durs, host)
+			}
+			a.makespan, a.energy, a.tasks = repMakespan, repEnergy, repTasks
+		}
+	}
+	cilkDurs := accs[policy.IDCilk].durs
+	for name, a := range accs {
+		best := a.durs[0]
+		ratios := make([]float64, len(a.durs))
+		for i, d := range a.durs {
+			if d < best {
+				best = d
+			}
+			// Same task count per rep for every policy, so the
+			// throughput ratio is the inverse duration ratio.
+			ratios[i] = cilkDurs[i].Seconds() / d.Seconds()
+		}
+		rec.Policies[name] = PolicyRecord{
+			MakespanS:      a.makespan / float64(seeds),
+			EnergyJ:        a.energy / float64(seeds),
+			HostNS:         best.Nanoseconds(),
+			TasksPerSec:    float64(a.tasks) / best.Seconds(),
+			NormThroughput: median(ratios),
+		}
+	}
+	return rec, nil
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func load(path string) (*Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var rec Record
+	if err := json.NewDecoder(f).Decode(&rec); err != nil {
+		return nil, err
+	}
+	return &rec, nil
+}
+
+// check compares the fresh measurement against the baseline: decisions
+// (makespan/energy) must be stable; the geometric mean of the
+// cilk-normalized throughput ratios may not regress beyond maxRegress.
+// The gate is on the mean, not per policy: an engine-level slowdown
+// moves every ratio together (full signal), while per-policy host
+// jitter averages out.
+func check(base, cur *Record, maxRegress float64) error {
+	if base.Benchmark != cur.Benchmark || base.Cores != cur.Cores || base.Seeds != cur.Seeds {
+		fmt.Printf("baseline setup differs (%s/%d cores/%d seeds vs %s/%d/%d) — skipping comparison\n",
+			base.Benchmark, base.Cores, base.Seeds, cur.Benchmark, cur.Cores, cur.Seeds)
+		return nil
+	}
+	baseG, curG, n := 1.0, 1.0, 0
+	for _, name := range policy.IDs() {
+		b, ok := base.Policies[name]
+		if !ok {
+			continue
+		}
+		c := cur.Policies[name]
+		if drift := relDiff(c.MakespanS, b.MakespanS); drift > 1e-9 {
+			fmt.Printf("note: %s makespan drifted %.2g%% (%.6f → %.6f s) — scheduler decisions changed\n",
+				name, 100*drift, b.MakespanS, c.MakespanS)
+		}
+		if drift := relDiff(c.EnergyJ, b.EnergyJ); drift > 1e-9 {
+			fmt.Printf("note: %s energy drifted %.2g%% (%.2f → %.2f J)\n", name, 100*drift, b.EnergyJ, c.EnergyJ)
+		}
+		if b.NormThroughput > 0 && c.NormThroughput > 0 {
+			baseG *= b.NormThroughput
+			curG *= c.NormThroughput
+			n++
+			if loss := 1 - c.NormThroughput/b.NormThroughput; loss > maxRegress {
+				fmt.Printf("note: %s cilk-normalized throughput %.3f → %.3f (%.1f%% below baseline)\n",
+					name, b.NormThroughput, c.NormThroughput, 100*loss)
+			}
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	baseG = math.Pow(baseG, 1/float64(n))
+	curG = math.Pow(curG, 1/float64(n))
+	if loss := 1 - curG/baseG; loss > maxRegress {
+		return fmt.Errorf("sim throughput regressed %.1f%% (cilk-normalized geomean %.3f → %.3f), budget %.0f%%",
+			100*loss, baseG, curG, 100*maxRegress)
+	}
+	return nil
+}
+
+func relDiff(a, b float64) float64 {
+	if b == 0 {
+		return math.Abs(a)
+	}
+	return math.Abs(a-b) / math.Abs(b)
+}

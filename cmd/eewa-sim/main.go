@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/machine"
 	"repro/internal/obs"
+	"repro/internal/policy"
 	"repro/internal/profile"
 	"repro/internal/sched"
 	"repro/internal/trace"
@@ -68,7 +69,7 @@ func main() {
 
 	var policies []string
 	if *policyName == "all" {
-		policies = []string{"cilk", "cilk-d", "wats", "eewa"}
+		policies = policy.IDs()
 	} else {
 		policies = []string{*policyName}
 	}
@@ -84,24 +85,12 @@ func main() {
 	for _, b := range benches {
 		w := b.Workload(*seed)
 		for _, pname := range policies {
-			var p sched.Policy
-			switch pname {
-			case "cilk":
-				p = sched.NewCilk()
-			case "cilk-d":
-				p = sched.NewCilkD(len(cfg.Freqs))
-			case "wats":
-				wp, err := sched.NewWATS(sched.DefaultWATSLevels(cfg.Cores, len(cfg.Freqs)), len(cfg.Freqs))
-				if err != nil {
-					log.Fatal(err)
-				}
-				p = wp
-			case "eewa":
-				e := sched.NewEEWA()
+			p, err := policy.New(pname, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if e, ok := p.(*policy.EEWA); ok {
 				e.Offline = offline
-				p = e
-			default:
-				log.Fatalf("unknown policy %q", pname)
 			}
 			params := sched.DefaultParams()
 			params.Seed = *seed

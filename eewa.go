@@ -33,10 +33,9 @@
 package eewa
 
 import (
-	"fmt"
-
 	"repro/internal/machine"
 	"repro/internal/obs"
+	"repro/internal/policy"
 	"repro/internal/rt"
 	"repro/internal/sched"
 	"repro/internal/task"
@@ -83,22 +82,28 @@ type (
 	TraceRecorder = trace.Recorder
 )
 
-// Policy names accepted by Simulate.
+// Policy names accepted by Simulate, NewPolicy and every CLI's -policy
+// flag. These are the canonical identifiers owned by internal/policy —
+// the live runtime's rt.ParsePolicy accepts the same set.
 const (
 	// PolicyCilk is classic random work stealing at full frequency.
-	PolicyCilk = "cilk"
+	PolicyCilk = policy.IDCilk
 	// PolicyCilkD is Cilk with idle cores down-clocked to the lowest
 	// frequency.
-	PolicyCilkD = "cilk-d"
+	PolicyCilkD = policy.IDCilkD
 	// PolicyEEWA is the paper's full scheduler.
-	PolicyEEWA = "eewa"
+	PolicyEEWA = policy.IDEEWA
 	// PolicyWATS is workload-aware stealing on a fixed asymmetric
 	// frequency configuration (the paper's [9], its Fig. 7 baseline):
 	// class profiling and preference stealing like EEWA, but the
-	// frequencies are frozen at sched.DefaultWATSLevels — no per-batch
+	// frequencies are frozen at policy.DefaultWATSLevels — no per-batch
 	// adjuster.
-	PolicyWATS = "wats"
+	PolicyWATS = policy.IDWATS
 )
+
+// PolicyNames returns the canonical policy identifiers in presentation
+// order (cilk, cilk-d, wats, eewa).
+func PolicyNames() []string { return policy.IDs() }
 
 // Opteron16 returns the paper's evaluation platform: 16 cores in four
 // packages, 2.5/1.8/1.3/0.8 GHz per-core DVFS.
@@ -133,20 +138,12 @@ func GenerateWorkload(name string, batches int, specs []ClassSpec, seed uint64) 
 	return task.Generate(name, batches, specs, seed)
 }
 
-// NewPolicy constructs a scheduling policy by name for cfg.
+// NewPolicy constructs a scheduling policy by name for cfg. The same
+// policy value drives both the simulator (Simulate) and the live
+// runtime (LiveConfig.Impl) — decisions live in internal/policy, the
+// engines only execute them.
 func NewPolicy(name string, cfg MachineConfig) (sched.Policy, error) {
-	switch name {
-	case PolicyCilk:
-		return sched.NewCilk(), nil
-	case PolicyCilkD:
-		return sched.NewCilkD(len(cfg.Freqs)), nil
-	case PolicyEEWA:
-		return sched.NewEEWA(), nil
-	case PolicyWATS:
-		return sched.NewWATS(sched.DefaultWATSLevels(cfg.Cores, len(cfg.Freqs)), len(cfg.Freqs))
-	default:
-		return nil, fmt.Errorf("eewa: unknown policy %q (want %s, %s, %s or %s)", name, PolicyCilk, PolicyCilkD, PolicyWATS, PolicyEEWA)
-	}
+	return policy.New(name, cfg)
 }
 
 // Simulate runs workload w on machine cfg under the named policy with
@@ -205,12 +202,18 @@ func Compare(cfg MachineConfig, w *Workload) (*Comparison, error) {
 // NewRuntime builds the live goroutine runtime with emulated DVFS.
 func NewRuntime(cfg LiveConfig) (*LiveRuntime, error) { return rt.New(cfg) }
 
-// LivePolicyCilk and LivePolicyEEWA select the live runtime's
-// discipline.
+// Live-runtime policy selectors. All four paper policies run live;
+// their String() forms are the canonical names above.
 const (
-	LivePolicyCilk = rt.PolicyCilk
-	LivePolicyEEWA = rt.PolicyEEWA
+	LivePolicyCilk  = rt.PolicyCilk
+	LivePolicyCilkD = rt.PolicyCilkD
+	LivePolicyWATS  = rt.PolicyWATS
+	LivePolicyEEWA  = rt.PolicyEEWA
 )
+
+// ParseLivePolicy resolves a canonical policy name (PolicyCilk …) to
+// the live runtime's selector.
+func ParseLivePolicy(name string) (rt.Policy, error) { return rt.ParsePolicy(name) }
 
 // NewMetrics builds an observability registry. Pass it as Params.Obs
 // (simulator) or LiveConfig.Obs (live runtime); export it with

@@ -1,6 +1,9 @@
-// Liveruntime: the EEWA scheduler running on real goroutines with real
-// payloads — the from-scratch compression and hash kernels of
-// internal/kernels — instead of the discrete-event simulator.
+// Liveruntime: the paper's schedulers running on real goroutines with
+// real payloads — the from-scratch compression and hash kernels of
+// internal/kernels — instead of the discrete-event simulator. All four
+// policies (cilk, cilk-d, wats, eewa) run through the shared
+// internal/policy core, so the decisions here are the same ones the
+// simulator makes.
 //
 // The batch structure mirrors the paper's benchmarks: every batch
 // hashes a few large files (chunky, stays fast) and compresses many
@@ -12,6 +15,7 @@
 // Run with:
 //
 //	go run ./examples/liveruntime [-workers 8] [-batches 5]
+//	go run ./examples/liveruntime -policy cilk,eewa     # subset
 //	go run ./examples/liveruntime -metrics-addr :9090   # scrape /metrics
 package main
 
@@ -20,6 +24,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	eewa "repro"
@@ -30,6 +35,7 @@ func main() {
 	log.SetFlags(0)
 	workers := flag.Int("workers", 8, "worker goroutines")
 	batches := flag.Int("batches", 5, "number of batches")
+	policyList := flag.String("policy", "all", "comma-separated policies (cilk|cilk-d|wats|eewa) or all")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running")
 	metricsOut := flag.String("metrics-out", "", "write final Prometheus-format metrics to this file")
 	flag.Parse()
@@ -57,18 +63,22 @@ func main() {
 		small[i] = kernels.TextCorpus(100+uint64(i), 3<<10)
 	}
 
-	for _, policy := range []struct {
-		name string
-		p    eewa.LiveConfig
-	}{
-		{"cilk", eewa.LiveConfig{Workers: *workers, Machine: eewa.Opteron16(), Policy: eewa.LivePolicyCilk, Seed: 1, Obs: reg}},
-		{"eewa", eewa.LiveConfig{Workers: *workers, Machine: eewa.Opteron16(), Policy: eewa.LivePolicyEEWA, Seed: 1, Obs: reg}},
-	} {
-		rt, err := eewa.NewRuntime(policy.p)
+	names := eewa.PolicyNames()
+	if *policyList != "all" {
+		names = strings.Split(*policyList, ",")
+	}
+	for _, name := range names {
+		pol, err := eewa.ParseLivePolicy(strings.TrimSpace(name))
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("--- %s, %d workers ---\n", policy.name, *workers)
+		rt, err := eewa.NewRuntime(eewa.LiveConfig{
+			Workers: *workers, Machine: eewa.Opteron16(), Policy: pol, Seed: 1, Obs: reg,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("--- %s, %d workers ---\n", pol, *workers)
 		start := time.Now()
 		for b := 0; b < *batches; b++ {
 			tasks := makeBatch(large, small)

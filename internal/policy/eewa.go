@@ -1,4 +1,4 @@
-package sched
+package policy
 
 import (
 	"repro/internal/cctable"
@@ -85,7 +85,7 @@ func (e *EEWA) BeginBatch(bi int, prof *profile.Profiler, env *Env) Plan {
 	if e.adj == nil {
 		adj, err := core.NewAdjuster(env.Cfg.Freqs, env.Cfg.Cores)
 		if err != nil {
-			panic("sched: " + err.Error()) // env.Cfg was validated by Run
+			panic("policy: " + err.Error()) // env.Cfg was validated by the engine
 		}
 		adj.DivisibleCC = e.DivisibleCC
 		if e.SearchFn != nil {
@@ -106,7 +106,7 @@ func (e *EEWA) BeginBatch(bi int, prof *profile.Profiler, env *Env) Plan {
 			asn, ok := e.adj.Adjust(e.Offline.Classes, e.Offline.T)
 			host := e.adj.HostTime - hostBefore
 			if ok {
-				return Plan{Assignment: asn, Overhead: env.AdjusterCharge, HostTime: host, SearchSteps: e.adj.LastSteps}
+				return Plan{Assignment: asn, Overhead: env.AdjusterCharge, HostTime: host, SearchSteps: e.adj.LastSteps, Adjusted: true}
 			}
 		}
 		// No workload information yet: all cores at the highest
@@ -132,14 +132,16 @@ func (e *EEWA) BeginBatch(bi int, prof *profile.Profiler, env *Env) Plan {
 				Assignment:  asn,
 				Overhead:    env.AdjusterCharge,
 				HostTime:    host,
+				Adjusted:    true,
 				RandomSteal: true,
 				ScatterAll:  true,
 			}
 		case core.MemOK:
-			return Plan{Assignment: asn, Overhead: env.AdjusterCharge, HostTime: host, SearchSteps: e.adj.LastSteps}
+			return Plan{Assignment: asn, Overhead: env.AdjusterCharge, HostTime: host, SearchSteps: e.adj.LastSteps, Adjusted: true}
 		default:
 			classic.Overhead = env.AdjusterCharge
 			classic.HostTime = host
+			classic.Adjusted = true
 			return classic
 		}
 	}
@@ -157,6 +159,7 @@ func (e *EEWA) BeginBatch(bi int, prof *profile.Profiler, env *Env) Plan {
 	if !ok {
 		classic.Overhead = env.AdjusterCharge
 		classic.HostTime = host
+		classic.Adjusted = true
 		return classic
 	}
 	return Plan{
@@ -164,6 +167,7 @@ func (e *EEWA) BeginBatch(bi int, prof *profile.Profiler, env *Env) Plan {
 		Overhead:    env.AdjusterCharge,
 		HostTime:    host,
 		SearchSteps: e.adj.LastSteps,
+		Adjusted:    true,
 	}
 }
 

@@ -1,0 +1,246 @@
+// Package policy is the engine-agnostic scheduling core: everything
+// the paper contributes as *decisions*, with none of the machinery that
+// executes them. Both execution substrates drive it —
+//
+//   - internal/sched, the deterministic discrete-event simulator, and
+//   - internal/rt, the live goroutine runtime with Chase–Lev deques and
+//     duty-cycle DVFS emulation —
+//
+// so the two engines cannot diverge on what the scheduler decides, only
+// on how fast the decisions run.
+//
+// The decision surface is:
+//
+//   - BeginBatch — per-batch planning: profile snapshot → CC table →
+//     Algorithm 1 backtracking → frequency assignment and class→c-group
+//     allocation, wrapped in a Plan;
+//   - Placer — initial task placement (class→c-group mapping with
+//     unknown classes to the fastest group, round-robin scatter when no
+//     class information exists);
+//   - StealOrder — the victim probe order of an out-of-work core
+//     (classic random stealing, or the paper's rob-the-weaker-first
+//     preference lists, Fig. 5);
+//   - OutOfWork — what a core does once every reachable pool is empty
+//     for the remainder of the batch.
+//
+// Four policies implement it: Cilk, Cilk-D, WATS and EEWA (plus
+// CilkFixed, the Fig. 7 frozen-frequency control). Each policy has one
+// canonical lowercase identifier (IDs) accepted uniformly by every CLI
+// and the facade, and one display name (Policy.Name) used in result
+// tables.
+package policy
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cgroup"
+	"repro/internal/machine"
+	"repro/internal/profile"
+	"repro/internal/xrand"
+)
+
+// Canonical policy identifiers. These are the -policy values every CLI
+// accepts and the strings the facade and the live runtime use; display
+// names (for tables) come from each policy's Name method.
+const (
+	// IDCilk is classic random work stealing at full frequency.
+	IDCilk = "cilk"
+	// IDCilkD is Cilk with idle cores down-clocked to the lowest level.
+	IDCilkD = "cilk-d"
+	// IDWATS is workload-aware stealing on a fixed asymmetric
+	// configuration (the paper's [9]).
+	IDWATS = "wats"
+	// IDEEWA is the paper's full scheduler.
+	IDEEWA = "eewa"
+)
+
+// IDs returns the canonical policy identifiers in presentation order.
+func IDs() []string { return []string{IDCilk, IDCilkD, IDWATS, IDEEWA} }
+
+// New constructs a policy from its canonical identifier for machine
+// cfg. WATS freezes DefaultWATSLevels for cfg.
+func New(name string, cfg machine.Config) (Policy, error) {
+	switch name {
+	case IDCilk:
+		return NewCilk(), nil
+	case IDCilkD:
+		return NewCilkD(len(cfg.Freqs)), nil
+	case IDWATS:
+		return NewWATS(DefaultWATSLevels(cfg.Cores, len(cfg.Freqs)), len(cfg.Freqs))
+	case IDEEWA:
+		return NewEEWA(), nil
+	default:
+		return nil, fmt.Errorf("policy: unknown policy %q (want %s, %s, %s or %s)",
+			name, IDCilk, IDCilkD, IDWATS, IDEEWA)
+	}
+}
+
+// Env is the read-only context a Policy sees when planning a batch. It
+// is engine-neutral: the simulator fills IdealTime with simulated
+// seconds, the live runtime with measured wall seconds.
+type Env struct {
+	// Cfg is the machine configuration (the live runtime substitutes
+	// its worker count for Cores).
+	Cfg machine.Config
+	// IdealTime is T, the duration of the first batch in seconds (0
+	// while the first batch has not completed yet).
+	IdealTime float64
+	// AdjusterCharge is the simulated overhead a planning policy
+	// should report in Plan.Overhead. The simulator sets it from its
+	// Params; the live runtime leaves it zero (its adjuster cost is
+	// real wall time, reported in Plan.HostTime).
+	AdjusterCharge float64
+}
+
+// Plan is a policy's decision for one batch.
+type Plan struct {
+	// Assignment carries the frequency configuration (c-groups) and
+	// the class→c-group allocation for the batch.
+	Assignment *cgroup.Assignment
+	// Overhead is simulated seconds charged at the batch boundary for
+	// computing this plan (EEWA's adjuster; zero for the baselines and
+	// in the live runtime).
+	Overhead float64
+	// HostTime is the real wall time the policy spent computing the
+	// plan on the host (Table III).
+	HostTime time.Duration
+	// SearchSteps is the number of Select attempts the tuple search
+	// performed for this plan (0 when no search ran) — the
+	// backtracking depth surfaced to the metrics layer.
+	SearchSteps int
+	// Adjusted reports that the frequency adjuster ran for this plan
+	// (used by the engines' adjuster-invocation metrics; Overhead may
+	// legitimately be zero in the live runtime).
+	Adjusted bool
+	// RandomSteal selects classic Cilk victim selection: each core
+	// uses only its own-group pool and probes every other core's
+	// own-group pool in random order, ignoring c-group structure.
+	RandomSteal bool
+	// ScatterAll places tasks round-robin across all cores (into each
+	// core's own-group pool) instead of by class allocation — the
+	// placement used when no class information exists (first batch,
+	// the baselines, and EEWA's memory-bound fallback).
+	ScatterAll bool
+}
+
+// OutOfWorkAction is what a core does when it has probed every pool it
+// may take from and found nothing: it enters State, optionally
+// re-clocking to FreqLevel (-1 keeps the current level). No work can
+// arrive until the next batch, so the action holds until the barrier.
+type OutOfWorkAction struct {
+	State     machine.CoreState
+	FreqLevel int
+}
+
+// Policy is a scheduling discipline either engine can execute.
+type Policy interface {
+	// Name identifies the policy in results and tables (display name;
+	// the canonical CLI identifier is one of IDs).
+	Name() string
+	// BeginBatch plans batch bi. prof holds the classes profiled from
+	// batch bi-1 (empty for bi = 0); the engine resets the profiler
+	// after this call.
+	BeginBatch(bi int, prof *profile.Profiler, env *Env) Plan
+	// OutOfWork is consulted when a core exhausts every reachable
+	// pool for the remainder of a batch.
+	OutOfWork(core int) OutOfWorkAction
+}
+
+// --- Placement --------------------------------------------------------
+
+// Placer maps one batch's tasks, in submission order, to the (core,
+// c-group pool) slots the plan prescribes. Build one per batch; Place
+// is not concurrency-safe (placement happens at the barrier in both
+// engines).
+type Placer struct {
+	plan  *Plan
+	cores int
+	seq   int
+	next  map[string]int
+}
+
+// NewPlacer builds a placer for plan on an m-core (m-worker) engine.
+func NewPlacer(plan *Plan, cores int) *Placer {
+	return &Placer{plan: plan, cores: cores, next: make(map[string]int)}
+}
+
+// Place returns the core and c-group pool the next task of the given
+// class goes to. Scatter plans round-robin over all cores; class plans
+// round-robin each class over its reserved placement cores (its
+// CC-count slice of its c-group), so same-group classes start on
+// disjoint pools. Unknown classes go to the fastest group, the paper's
+// rule for tasks "with no existing task class".
+func (pl *Placer) Place(class string) (core, group int) {
+	asn := pl.plan.Assignment
+	if pl.plan.ScatterAll {
+		c := pl.seq % pl.cores
+		pl.seq++
+		return c, asn.CoreGroup[c]
+	}
+	g := asn.GroupOfClass(class)
+	members := asn.PlacementCores(class)
+	c := members[pl.next[class]%len(members)]
+	pl.next[class]++
+	return c, g
+}
+
+// --- Steal order ------------------------------------------------------
+
+// StealOrder enumerates the victim pools an out-of-work core probes, in
+// the plan's preference order. It is immutable after construction and
+// safe for concurrent use by all workers (each worker supplies its own
+// RNG).
+type StealOrder struct {
+	random    bool
+	cores     int
+	coreGroup []int
+	prefs     [][]int
+}
+
+// NewStealOrder builds the steal order for plan on an m-core engine.
+func NewStealOrder(plan *Plan, cores int) *StealOrder {
+	return &StealOrder{
+		random:    plan.RandomSteal,
+		cores:     cores,
+		coreGroup: plan.Assignment.CoreGroup,
+		prefs:     cgroup.PreferenceLists(plan.Assignment.U()),
+	}
+}
+
+// ForEachVictim calls probe(victim, group) for every remote pool core
+// self may steal from, in the policy's order, stopping early when probe
+// returns true (and reporting whether it did). The caller's local pool
+// (self, its own group) is excluded — owners pop it directly.
+//
+// Random plans probe every other core's own-group pool in one random
+// permutation. Preference plans walk the rob-the-weaker-first group
+// list of self's c-group (Fig. 5) and probe every core's pool for that
+// group in a fresh random permutation per group — exactly the paper's
+// §III-B search, and byte-identical RNG consumption to the historical
+// engines so simulations stay reproducible across the refactor.
+func (s *StealOrder) ForEachVictim(self int, rng *xrand.RNG, probe func(victim, group int) bool) bool {
+	if s.random {
+		for _, v := range rng.Perm(s.cores) {
+			if v == self {
+				continue
+			}
+			if probe(v, s.coreGroup[v]) {
+				return true
+			}
+		}
+		return false
+	}
+	myG := s.coreGroup[self]
+	for _, g := range s.prefs[myG] {
+		for _, v := range rng.Perm(s.cores) {
+			if v == self && g == myG {
+				continue // the owner's local pool, already popped
+			}
+			if probe(v, g) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,258 @@
+package policy
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/cgroup"
+	"repro/internal/machine"
+	"repro/internal/profile"
+	"repro/internal/xrand"
+)
+
+func TestNewConstructsEveryCanonicalPolicy(t *testing.T) {
+	cfg := machine.Opteron16()
+	wantNames := map[string]string{
+		IDCilk:  "Cilk",
+		IDCilkD: "Cilk-D",
+		IDWATS:  "WATS",
+		IDEEWA:  "EEWA",
+	}
+	if len(IDs()) != len(wantNames) {
+		t.Fatalf("IDs() = %v, want %d entries", IDs(), len(wantNames))
+	}
+	for _, id := range IDs() {
+		p, err := New(id, cfg)
+		if err != nil {
+			t.Fatalf("New(%q): %v", id, err)
+		}
+		if p.Name() != wantNames[id] {
+			t.Errorf("New(%q).Name() = %q, want %q", id, p.Name(), wantNames[id])
+		}
+	}
+	if _, err := New("bogus", cfg); err == nil {
+		t.Error("New should reject unknown identifiers")
+	}
+}
+
+func TestBaselinePlans(t *testing.T) {
+	cfg := machine.Opteron16()
+	env := &Env{Cfg: cfg}
+	prof := profile.New(cfg.Freqs)
+	for _, id := range []string{IDCilk, IDCilkD} {
+		p, err := New(id, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan := p.BeginBatch(0, prof, env)
+		if !plan.ScatterAll || !plan.RandomSteal {
+			t.Errorf("%s: plan %+v, want classic scatter + random stealing", id, plan)
+		}
+		for c := 0; c < cfg.Cores; c++ {
+			if plan.Assignment.FreqOf(c) != 0 {
+				t.Errorf("%s: core %d not at F0", id, c)
+			}
+		}
+	}
+	cilk, _ := New(IDCilk, cfg)
+	if act := cilk.OutOfWork(3); act.FreqLevel != -1 || act.State != machine.Spinning {
+		t.Errorf("Cilk out-of-work %+v, want spin at current level", act)
+	}
+	cilkd, _ := New(IDCilkD, cfg)
+	if act := cilkd.OutOfWork(3); act.FreqLevel != len(cfg.Freqs)-1 {
+		t.Errorf("Cilk-D out-of-work %+v, want lowest level", act)
+	}
+}
+
+func TestDefaultWATSLevels(t *testing.T) {
+	levels := DefaultWATSLevels(16, 4)
+	fast, slow := 0, 0
+	for _, l := range levels {
+		switch l {
+		case 0:
+			fast++
+		case 3:
+			slow++
+		default:
+			t.Fatalf("unexpected level %d", l)
+		}
+	}
+	if fast != 6 || slow != 10 {
+		t.Errorf("16-core split %d fast / %d slow, want 6/10", fast, slow)
+	}
+	if got := DefaultWATSLevels(1, 4); len(got) != 1 || got[0] != 0 {
+		t.Errorf("1-core config %v, want [0]", got)
+	}
+}
+
+func TestPlacerScatterRoundRobins(t *testing.T) {
+	plan := &Plan{Assignment: cgroup.AllFast(4, nil), ScatterAll: true}
+	pl := NewPlacer(plan, 4)
+	for i := 0; i < 8; i++ {
+		c, g := pl.Place("anything")
+		if c != i%4 {
+			t.Fatalf("task %d placed on core %d, want %d", i, c, i%4)
+		}
+		if g != 0 {
+			t.Fatalf("task %d placed in group %d, want 0", i, g)
+		}
+	}
+}
+
+func TestPlacerByClassUsesPlacementCores(t *testing.T) {
+	asn, err := cgroup.FromLevels([]int{0, 0, 3, 3}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asn.ClassGroup["heavy"] = 0
+	asn.ClassGroup["light"] = 1
+	plan := &Plan{Assignment: asn}
+	pl := NewPlacer(plan, 4)
+
+	heavyCores := map[int]bool{}
+	for i := 0; i < 4; i++ {
+		c, g := pl.Place("heavy")
+		if g != 0 {
+			t.Fatalf("heavy placed in group %d", g)
+		}
+		heavyCores[c] = true
+	}
+	if !reflect.DeepEqual(heavyCores, map[int]bool{0: true, 1: true}) {
+		t.Errorf("heavy cores %v, want {0,1}", heavyCores)
+	}
+	if c, g := pl.Place("light"); g != 1 || (c != 2 && c != 3) {
+		t.Errorf("light placed on core %d group %d, want group 1 on cores {2,3}", c, g)
+	}
+	// Unknown classes go to the fastest group — the paper's rule.
+	if _, g := pl.Place("never-profiled"); g != 0 {
+		t.Errorf("unknown class placed in group %d, want fastest (0)", g)
+	}
+}
+
+// collectProbes drains the full probe sequence for a worker.
+func collectProbes(so *StealOrder, self int, rng *xrand.RNG) [][2]int {
+	var seq [][2]int
+	so.ForEachVictim(self, rng, func(v, g int) bool {
+		seq = append(seq, [2]int{v, g})
+		return false
+	})
+	return seq
+}
+
+func TestStealOrderRandomCoversEveryRemoteOnce(t *testing.T) {
+	plan := &Plan{Assignment: cgroup.AllFast(6, nil), RandomSteal: true}
+	so := NewStealOrder(plan, 6)
+	seq := collectProbes(so, 2, xrand.New(7))
+	if len(seq) != 5 {
+		t.Fatalf("%d probes, want 5", len(seq))
+	}
+	var victims []int
+	for _, p := range seq {
+		if p[0] == 2 {
+			t.Fatal("random order probed self")
+		}
+		if p[1] != 0 {
+			t.Fatalf("probe %v outside own-group pool", p)
+		}
+		victims = append(victims, p[0])
+	}
+	sort.Ints(victims)
+	if !reflect.DeepEqual(victims, []int{0, 1, 3, 4, 5}) {
+		t.Errorf("victims %v, want every remote core once", victims)
+	}
+}
+
+func TestStealOrderPreferenceIsRobTheWeakerFirst(t *testing.T) {
+	// Three groups: G0 fast {0,1}, G1 mid {2,3}, G2 slow {4,5}.
+	asn, err := cgroup.FromLevels([]int{0, 0, 1, 1, 3, 3}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &Plan{Assignment: asn}
+	so := NewStealOrder(plan, 6)
+
+	// A mid-group core must probe: own group G1, then weaker G2, then
+	// stronger G0 — Fig. 5's preference list — with every core's pool
+	// probed within each group phase.
+	seq := collectProbes(so, 2, xrand.New(7))
+	if len(seq) != 17 { // 5 own-group (skip self) + 6 + 6
+		t.Fatalf("%d probes, want 17", len(seq))
+	}
+	var phases []int
+	for _, p := range seq {
+		if len(phases) == 0 || phases[len(phases)-1] != p[1] {
+			phases = append(phases, p[1])
+		}
+	}
+	if !reflect.DeepEqual(phases, []int{1, 2, 0}) {
+		t.Errorf("group phases %v, want [1 2 0] (own, weaker, stronger)", phases)
+	}
+	for i, p := range seq {
+		if i < 5 && p[0] == 2 && p[1] == 1 {
+			t.Error("preference order probed the caller's own local pool")
+		}
+	}
+}
+
+func TestStealOrderFindsTask(t *testing.T) {
+	plan := &Plan{Assignment: cgroup.AllFast(4, nil), RandomSteal: true}
+	so := NewStealOrder(plan, 4)
+	hits := 0
+	found := so.ForEachVictim(0, xrand.New(1), func(v, g int) bool {
+		hits++
+		return v == 3 // pretend core 3's pool yields
+	})
+	if !found {
+		t.Error("ForEachVictim should report success")
+	}
+	if hits == 0 || hits > 3 {
+		t.Errorf("%d probes before success, want 1..3", hits)
+	}
+}
+
+func TestEEWAFirstBatchClassic(t *testing.T) {
+	cfg := machine.Opteron16()
+	e := NewEEWA()
+	plan := e.BeginBatch(0, profile.New(cfg.Freqs), &Env{Cfg: cfg, AdjusterCharge: 2e-3})
+	if !plan.ScatterAll || !plan.RandomSteal || plan.Adjusted {
+		t.Errorf("first batch plan %+v, want classic unadjusted", plan)
+	}
+	if act := e.OutOfWork(0); act.FreqLevel != cfg.Freqs.Slowest() {
+		t.Errorf("EEWA out-of-work level %d, want slowest", act.FreqLevel)
+	}
+}
+
+func TestEEWAAdjustsFromProfile(t *testing.T) {
+	cfg := machine.Opteron16()
+	e := NewEEWA()
+	prof := profile.New(cfg.Freqs)
+	env := &Env{Cfg: cfg, AdjusterCharge: 2e-3}
+	e.BeginBatch(0, prof, env)
+
+	// Profile a skewed batch: few heavy tasks, many light ones.
+	for i := 0; i < 8; i++ {
+		prof.Record("heavy", 2e-3, 0, 0)
+	}
+	for i := 0; i < 64; i++ {
+		prof.Record("light", 1e-4, 0, 0)
+	}
+	env.IdealTime = 4e-3
+	plan := e.BeginBatch(1, prof, env)
+	if !plan.Adjusted {
+		t.Fatal("second batch should run the adjuster")
+	}
+	if plan.Overhead != env.AdjusterCharge {
+		t.Errorf("overhead %g, want the adjuster charge %g", plan.Overhead, env.AdjusterCharge)
+	}
+	if plan.Assignment.U() < 2 {
+		t.Errorf("adjuster kept %d group(s) for a skewed profile (tuple %v)",
+			plan.Assignment.U(), plan.Assignment.Tuple)
+	}
+	hg := plan.Assignment.GroupOfClass("heavy")
+	lg := plan.Assignment.GroupOfClass("light")
+	if plan.Assignment.Groups[hg].Level > plan.Assignment.Groups[lg].Level {
+		t.Errorf("heavy class on slower group (level %d) than light (level %d)",
+			plan.Assignment.Groups[hg].Level, plan.Assignment.Groups[lg].Level)
+	}
+}

@@ -1,4 +1,4 @@
-package sched
+package policy
 
 import (
 	"repro/internal/cgroup"

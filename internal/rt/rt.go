@@ -3,6 +3,12 @@
 // deques, executing real task payloads (e.g. the internal/kernels
 // compressors and hashes).
 //
+// All scheduling *decisions* — per-batch planning, task placement,
+// steal preference order, out-of-work behaviour — come from
+// internal/policy, the same code the discrete-event simulator
+// executes; this package only supplies the execution substrate. All
+// four policies (Cilk, Cilk-D, WATS, EEWA) therefore run live.
+//
 // Real DVFS needs root access and specific hardware, and Go cannot pin
 // goroutines to cores, so the runtime emulates frequency scaling with
 // *duty-cycle throttling*: a worker logically clocked at Fj runs each
@@ -30,10 +36,10 @@ import (
 	"time"
 
 	"repro/internal/cgroup"
-	"repro/internal/core"
 	"repro/internal/deque"
 	"repro/internal/machine"
 	"repro/internal/obs"
+	"repro/internal/policy"
 	"repro/internal/profile"
 	"repro/internal/xrand"
 )
@@ -46,7 +52,9 @@ type Task struct {
 	Run func()
 }
 
-// Policy selects the scheduling discipline.
+// Policy selects the scheduling discipline. The values mirror the
+// canonical policy set of internal/policy; String returns the
+// canonical identifier ("cilk", "cilk-d", "wats", "eewa").
 type Policy int
 
 const (
@@ -55,18 +63,50 @@ const (
 	// PolicyEEWA: the paper's scheduler — profile, adjust virtual
 	// frequencies per batch, preference stealing.
 	PolicyEEWA
+	// PolicyCilkD: Cilk with workers that run dry down-clocking to the
+	// lowest frequency until the barrier.
+	PolicyCilkD
+	// PolicyWATS: workload-aware stealing on a frozen asymmetric
+	// configuration (policy.DefaultWATSLevels).
+	PolicyWATS
 )
 
-// String implements fmt.Stringer.
+// String returns the canonical policy identifier.
 func (p Policy) String() string {
 	switch p {
 	case PolicyCilk:
-		return "cilk"
+		return policy.IDCilk
+	case PolicyCilkD:
+		return policy.IDCilkD
+	case PolicyWATS:
+		return policy.IDWATS
 	case PolicyEEWA:
-		return "eewa"
+		return policy.IDEEWA
 	default:
 		return fmt.Sprintf("Policy(%d)", int(p))
 	}
+}
+
+// ParsePolicy maps a canonical policy identifier (see policy.IDs) to
+// the Policy enum.
+func ParsePolicy(name string) (Policy, error) {
+	switch name {
+	case policy.IDCilk:
+		return PolicyCilk, nil
+	case policy.IDCilkD:
+		return PolicyCilkD, nil
+	case policy.IDWATS:
+		return PolicyWATS, nil
+	case policy.IDEEWA:
+		return PolicyEEWA, nil
+	default:
+		return 0, fmt.Errorf("rt: unknown policy %q (want one of %v)", name, policy.IDs())
+	}
+}
+
+// Policies returns every live policy in canonical order.
+func Policies() []Policy {
+	return []Policy{PolicyCilk, PolicyCilkD, PolicyWATS, PolicyEEWA}
 }
 
 // Config configures a Runtime.
@@ -76,8 +116,13 @@ type Config struct {
 	// Machine supplies the frequency ladder and power model; its core
 	// count is overridden by Workers.
 	Machine machine.Config
-	// Policy selects Cilk or EEWA behaviour.
+	// Policy selects the scheduling discipline (ignored when Impl is
+	// set).
 	Policy Policy
+	// Impl, when non-nil, supplies the policy implementation directly
+	// — e.g. a policy.EEWA with an offline profile, or a recording
+	// wrapper in the parity tests.
+	Impl policy.Policy
 	// Seed drives victim selection.
 	Seed uint64
 	// Obs, when non-nil, receives the runtime's metrics: per-batch wall
@@ -96,6 +141,9 @@ type BatchStats struct {
 	Tasks int
 	// Census is the number of workers at each frequency level.
 	Census []int
+	// Levels is the per-worker frequency level the plan assigned for
+	// the batch.
+	Levels []int
 	// Steals counts non-local task acquisitions.
 	Steals int
 	// Energy is the modeled energy for the batch (joules).
@@ -115,18 +163,18 @@ type RunStats struct {
 type Runtime struct {
 	cfg    Config
 	ladder machine.FreqLadder
+	pol    policy.Policy
 	prof   *profile.Profiler
 	profMu sync.Mutex
 
-	levels []int // per-worker frequency level for the current batch
+	plan   policy.Plan
 	asn    *cgroup.Assignment
+	levels []int // per-worker frequency level for the current batch
 
-	adj        *core.Adjuster
 	batchIndex int
 	idealTime  time.Duration
 
-	ro          rtObs
-	lastAdjHost time.Duration
+	ro rtObs
 
 	stats RunStats
 }
@@ -145,9 +193,18 @@ func New(cfg Config) (*Runtime, error) {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
+	pol := cfg.Impl
+	if pol == nil {
+		var err error
+		pol, err = policy.New(cfg.Policy.String(), mc)
+		if err != nil {
+			return nil, fmt.Errorf("rt: %w", err)
+		}
+	}
 	r := &Runtime{
 		cfg:    cfg,
 		ladder: mc.Freqs,
+		pol:    pol,
 		prof:   profile.New(mc.Freqs),
 		levels: make([]int, cfg.Workers),
 		asn:    cgroup.AllFast(cfg.Workers, nil),
@@ -169,13 +226,13 @@ func (r *Runtime) Census() []int {
 }
 
 // RunBatch executes one batch of tasks and blocks until all complete.
-// Between batches (when Policy is EEWA) it runs the workload-aware
-// frequency adjuster on the previous batch's profile.
+// Between batches the policy plans: under EEWA that means running the
+// workload-aware frequency adjuster on the previous batch's profile.
 func (r *Runtime) RunBatch(tasks []Task) BatchStats {
 	if len(tasks) == 0 {
 		return BatchStats{Census: r.Census()}
 	}
-	r.plan()
+	r.planBatch()
 
 	n := r.cfg.Workers
 	u := r.asn.U()
@@ -187,42 +244,33 @@ func (r *Runtime) RunBatch(tasks []Task) BatchStats {
 		}
 	}
 
-	// Placement: by class (over the class's reserved placement cores)
-	// under EEWA after the first batch, round-robin otherwise.
-	nextByClass := map[string]int{}
-	nextRR := make([]int, u)
+	// Placement per the plan's discipline (scatter or by class over
+	// each class's reserved placement cores) — shared with the sim.
+	placer := policy.NewPlacer(&r.plan, n)
 	var depths []int // per-worker placement count, metrics only
 	if r.ro.reg != nil {
 		depths = make([]int, n)
 	}
 	for i := range tasks {
 		t := &tasks[i]
-		var w int
-		if r.cfg.Policy == PolicyEEWA && r.batchIndex > 0 {
-			g := r.asn.GroupOfClass(t.Class)
-			members := r.asn.PlacementCores(t.Class)
-			w = members[nextByClass[t.Class]%len(members)]
-			nextByClass[t.Class]++
-			pools[w][g].PushBottom(t)
-		} else {
-			g := r.asn.CoreGroup[i%n]
-			members := r.asn.Groups[g].Cores
-			w = members[nextRR[g]%len(members)]
-			nextRR[g]++
-			pools[w][g].PushBottom(t)
-		}
+		w, g := placer.Place(t.Class)
+		pools[w][g].PushBottom(t)
 		if depths != nil {
 			depths[w]++
 		}
 	}
 
-	prefs := cgroup.PreferenceLists(u)
+	stealOrder := policy.NewStealOrder(&r.plan, n)
 	var (
 		steals atomic.Int64
+		dvfs   atomic.Int64
 		remain atomic.Int64
 		busyNS = make([]atomic.Int64, n)
-		spinNS = make([]atomic.Int64, n)
+		spinNS = make([]atomic.Int64, n) // out-of-work spin at idleLevels[w]
+		idleNS = make([]atomic.Int64, n) // work-search lead-in at levels[w]
 	)
+	idleLevels := make([]int, n)
+	copy(idleLevels, r.levels)
 	remain.Store(int64(len(tasks)))
 	start := time.Now()
 
@@ -235,20 +283,40 @@ func (r *Runtime) RunBatch(tasks []Task) BatchStats {
 			myG := r.asn.CoreGroup[id]
 			level := r.levels[id]
 			ratio := r.ladder.Ratio(level)
+			outOfWork := false
 			spinStart := time.Now()
 			for remain.Load() > 0 {
-				t, stolen := acquire(pools, prefs, id, myG, rng, r.cfg.Policy == PolicyCilk, r.asn)
+				t, stolen := acquire(pools, stealOrder, id, myG, rng)
 				if t == nil {
-					// Nothing visible right now; other workers may
-					// still hold unfinished tasks but pools only
-					// drain, so yield briefly and re-check remain.
+					// Every reachable pool looked empty: apply the
+					// policy's out-of-work action once. Pools only
+					// drain mid-batch, so from here until the barrier
+					// (or until a racing steal surfaces a stray task)
+					// the worker spins at the action's level — that is
+					// what Cilk-D and EEWA down-clock.
+					if !outOfWork {
+						outOfWork = true
+						idleNS[id].Add(int64(time.Since(spinStart)))
+						spinStart = time.Now()
+						if act := r.pol.OutOfWork(id); act.FreqLevel >= 0 && act.FreqLevel != idleLevels[id] {
+							idleLevels[id] = act.FreqLevel
+							dvfs.Add(1)
+						}
+					}
 					time.Sleep(20 * time.Microsecond)
 					continue
 				}
 				if stolen {
 					steals.Add(1)
 				}
-				spinNS[id].Add(int64(time.Since(spinStart)))
+				search := int64(time.Since(spinStart))
+				if outOfWork {
+					// A racing steal lost earlier; the worker is back.
+					outOfWork = false
+					spinNS[id].Add(search)
+				} else {
+					idleNS[id].Add(search)
+				}
 
 				t0 := time.Now()
 				t.Run()
@@ -267,31 +335,40 @@ func (r *Runtime) RunBatch(tasks []Task) BatchStats {
 				remain.Add(-1)
 				spinStart = time.Now()
 			}
+			if outOfWork {
+				spinNS[id].Add(int64(time.Since(spinStart)))
+			} else {
+				idleNS[id].Add(int64(time.Since(spinStart)))
+			}
 		}(w)
 	}
 	wg.Wait()
 	wall := time.Since(start)
 
-	// Energy accounting from the shared power model: busy and spin at
-	// the worker's level, the barrier-wait remainder as halted.
+	// Energy accounting from the shared power model: busy and
+	// work-search spin at the worker's level, post-dry spin at the
+	// out-of-work level the policy chose, the barrier-wait remainder
+	// as halted.
 	pm := r.cfg.Machine.Power
 	energy := pm.Base * wall.Seconds()
 	var busyTot, spinTot, haltTot float64
 	for w := 0; w < n; w++ {
 		level := r.levels[w]
 		busy := time.Duration(busyNS[w].Load()).Seconds()
-		spin := time.Duration(spinNS[w].Load()).Seconds()
-		halt := wall.Seconds() - busy - spin
+		search := time.Duration(idleNS[w].Load()).Seconds()
+		dry := time.Duration(spinNS[w].Load()).Seconds()
+		halt := wall.Seconds() - busy - search - dry
 		if halt < 0 {
 			halt = 0
 		}
 		busyTot += busy
-		spinTot += spin
+		spinTot += search + dry
 		haltTot += halt
 		// The live runtime has no package topology: use own-level
 		// voltage (PackageSize 1 semantics).
 		energy += busy * pm.CorePower(machine.Busy, level, level, r.ladder)
-		energy += spin * pm.CorePower(machine.Spinning, level, level, r.ladder)
+		energy += search * pm.CorePower(machine.Spinning, level, level, r.ladder)
+		energy += dry * pm.CorePower(machine.Spinning, idleLevels[w], idleLevels[w], r.ladder)
 		energy += halt * pm.CorePower(machine.Halted, level, level, r.ladder)
 	}
 
@@ -299,11 +376,13 @@ func (r *Runtime) RunBatch(tasks []Task) BatchStats {
 		r.idealTime = wall
 	}
 	r.batchIndex++
+	r.ro.dvfs.Add(float64(dvfs.Load()))
 
 	bs := BatchStats{
 		Wall:   wall,
 		Tasks:  len(tasks),
 		Census: r.Census(),
+		Levels: append([]int(nil), r.levels...),
 		Steals: int(steals.Load()),
 		Energy: energy,
 	}
@@ -316,32 +395,23 @@ func (r *Runtime) RunBatch(tasks []Task) BatchStats {
 	return bs
 }
 
-// plan runs the frequency adjuster before a batch (EEWA only).
-func (r *Runtime) plan() {
-	n := r.cfg.Workers
-	if r.adj == nil {
-		adj, err := core.NewAdjuster(r.ladder, n)
-		if err != nil {
-			panic("rt: " + err.Error()) // config validated in New
-		}
-		r.adj = adj
-	}
-	if r.cfg.Policy != PolicyEEWA || r.batchIndex == 0 || r.idealTime <= 0 {
-		r.asn = r.adj.AllFast()
-		r.applyLevels()
-		r.prof.Reset()
-		return
-	}
+// planBatch asks the policy for the batch's plan (under EEWA: the
+// frequency adjuster over the previous batch's profile) and applies
+// the resulting assignment to the workers.
+func (r *Runtime) planBatch() {
+	env := &policy.Env{Cfg: r.cfg.Machine, IdealTime: r.idealTime.Seconds()}
 	r.profMu.Lock()
-	classes := r.prof.Classes()
+	plan := r.pol.BeginBatch(r.batchIndex, r.prof, env)
 	r.prof.Reset()
 	r.profMu.Unlock()
-	asn, _ := r.adj.Adjust(classes, r.idealTime.Seconds())
-	r.asn = asn
-	if r.ro.reg != nil {
+	if plan.Assignment == nil {
+		plan.Assignment = cgroup.AllFast(r.cfg.Workers, nil)
+	}
+	r.plan = plan
+	r.asn = plan.Assignment
+	if plan.Adjusted && r.ro.reg != nil {
 		r.ro.adjInv.Inc()
-		r.ro.adjHost.Add((r.adj.HostTime - r.lastAdjHost).Seconds())
-		r.lastAdjHost = r.adj.HostTime
+		r.ro.adjHost.Add(plan.HostTime.Seconds())
 	}
 	r.applyLevels()
 }
@@ -362,35 +432,21 @@ func (r *Runtime) applyLevels() {
 	}
 }
 
-// acquire finds the next task for worker id: local pool, then steals
-// per the discipline. Returns nil when every reachable pool is empty
-// right now.
-func acquire(pools [][]*deque.Chase[*Task], prefs [][]int, id, myG int, rng *xrand.RNG, random bool, asn *cgroup.Assignment) (*Task, bool) {
+// acquire finds the next task for worker id: local pool first, then
+// remote pools in the policy's victim order. Returns nil when every
+// reachable pool is empty right now.
+func acquire(pools [][]*deque.Chase[*Task], so *policy.StealOrder, id, myG int, rng *xrand.RNG) (*Task, bool) {
 	if t, ok := pools[id][myG].PopBottom(); ok {
 		return t, false
 	}
-	if random {
-		order := rng.Perm(len(pools))
-		for _, v := range order {
-			if v == id {
-				continue
-			}
-			if t, ok := pools[v][asn.CoreGroup[v]].Steal(); ok {
-				return t, true
-			}
+	var got *Task
+	so.ForEachVictim(id, rng, func(v, g int) bool {
+		t, ok := pools[v][g].Steal()
+		if !ok {
+			return false
 		}
-		return nil, false
-	}
-	for _, g := range prefs[myG] {
-		order := rng.Perm(len(pools))
-		for _, v := range order {
-			if v == id && g == myG {
-				continue
-			}
-			if t, ok := pools[v][g].Steal(); ok {
-				return t, true
-			}
-		}
-	}
-	return nil, false
+		got = t
+		return true
+	})
+	return got, got != nil
 }

@@ -59,7 +59,7 @@ func TestNewValidates(t *testing.T) {
 }
 
 func TestAllTasksExecuteOnce(t *testing.T) {
-	for _, p := range []Policy{PolicyCilk, PolicyEEWA} {
+	for _, p := range Policies() {
 		t.Run(p.String(), func(t *testing.T) {
 			r, err := New(testConfig(4, p))
 			if err != nil {
@@ -189,10 +189,83 @@ func TestEnergyAccountingSane(t *testing.T) {
 }
 
 func TestPolicyString(t *testing.T) {
-	if PolicyCilk.String() != "cilk" || PolicyEEWA.String() != "eewa" {
-		t.Error("policy labels wrong")
+	want := map[Policy]string{
+		PolicyCilk:  "cilk",
+		PolicyCilkD: "cilk-d",
+		PolicyWATS:  "wats",
+		PolicyEEWA:  "eewa",
+	}
+	for p, name := range want {
+		if p.String() != name {
+			t.Errorf("%d stringifies as %q, want %q", int(p), p.String(), name)
+		}
+		back, err := ParsePolicy(name)
+		if err != nil || back != p {
+			t.Errorf("ParsePolicy(%q) = %v, %v; want %v", name, back, err, p)
+		}
 	}
 	if Policy(9).String() == "" {
 		t.Error("unknown policy should stringify")
+	}
+	if _, err := ParsePolicy("nope"); err == nil {
+		t.Error("ParsePolicy should reject unknown names")
+	}
+}
+
+func TestWATSFrozenLevels(t *testing.T) {
+	// WATS must run on its frozen asymmetric configuration from the
+	// very first batch and never re-tune it.
+	r, err := New(testConfig(6, PolicyWATS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var count atomic.Int64
+	var first []int
+	for b := 0; b < 3; b++ {
+		bs := r.RunBatch(makeBatch(&count, 2, 10, time.Millisecond, 100*time.Microsecond))
+		if b == 0 {
+			first = bs.Levels
+			slow := 0
+			for _, l := range bs.Levels {
+				if l > 0 {
+					slow++
+				}
+			}
+			if slow == 0 {
+				t.Fatal("WATS configuration has no slow workers")
+			}
+			continue
+		}
+		for w, l := range bs.Levels {
+			if l != first[w] {
+				t.Fatalf("batch %d: worker %d moved to level %d (frozen at %d)", b, w, l, first[w])
+			}
+		}
+	}
+}
+
+func TestCilkDDownclocksWhenDry(t *testing.T) {
+	// With far more workers than tasks, some workers run dry and
+	// Cilk-D's out-of-work action must be cheaper than Cilk's spin:
+	// same workload, same seed, lower modeled energy. The dry spell
+	// must be long (20 ms) so it dominates goroutine startup lag,
+	// which the accounting bills as halt for both policies — under
+	// -race that lag is large enough to swamp a short batch's margin.
+	run := func(p Policy) float64 {
+		r, err := New(testConfig(8, p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var count atomic.Int64
+		var energy float64
+		for b := 0; b < 2; b++ {
+			bs := r.RunBatch(makeBatch(&count, 1, 1, 20*time.Millisecond, 100*time.Microsecond))
+			energy += bs.Energy
+		}
+		return energy
+	}
+	cilk, cilkd := run(PolicyCilk), run(PolicyCilkD)
+	if cilkd >= cilk {
+		t.Errorf("Cilk-D energy %.3f J not below Cilk %.3f J despite idle workers", cilkd, cilk)
 	}
 }

@@ -5,9 +5,11 @@ import (
 	"strconv"
 
 	"repro/internal/cgroup"
+	"repro/internal/deque"
 	"repro/internal/event"
 	"repro/internal/machine"
 	"repro/internal/obs"
+	"repro/internal/policy"
 	"repro/internal/profile"
 	"repro/internal/task"
 	"repro/internal/xrand"
@@ -75,39 +77,11 @@ func newEngineObs(reg *obs.Registry, levels int) engineObs {
 	return o
 }
 
-// pool is a simulated task pool: the owner pops from the back (LIFO),
-// thieves steal from the front (FIFO), matching the deque semantics of
-// the live runtime.
-type pool struct {
-	items []*task.Task
-}
-
-func (p *pool) push(t *task.Task) { p.items = append(p.items, t) }
-
-func (p *pool) popBottom() *task.Task {
-	n := len(p.items)
-	if n == 0 {
-		return nil
-	}
-	t := p.items[n-1]
-	p.items[n-1] = nil
-	p.items = p.items[:n-1]
-	return t
-}
-
-func (p *pool) stealTop() *task.Task {
-	if len(p.items) == 0 {
-		return nil
-	}
-	t := p.items[0]
-	p.items[0] = nil
-	p.items = p.items[1:]
-	return t
-}
-
-func (p *pool) empty() bool { return len(p.items) == 0 }
-
-// engine executes one workload under one policy.
+// engine executes one workload under one policy. Task pools are
+// deque.Locked instances — the same Deque implementation the deque
+// property tests cover — owner-LIFO / thief-FIFO, matching the live
+// runtime's Chase–Lev semantics; the event loop is single-threaded, so
+// the mutex is uncontended and determinism is preserved.
 type engine struct {
 	cfg    machine.Config
 	m      *machine.Machine
@@ -117,10 +91,10 @@ type engine struct {
 	params Params
 
 	// pools[core][group] — recreated per batch (u may change).
-	pools [][]pool
+	pools [][]deque.Deque[*task.Task]
 	asn   *cgroup.Assignment
 	plan  Plan
-	prefs [][]int // preference list per group
+	steal *policy.StealOrder
 
 	victimRNG []*xrand.RNG // per-core victim selection streams
 
@@ -220,7 +194,7 @@ func (e *engine) runBatch(bi int, b *task.Batch, env *Env) error {
 	e.prof.Reset()
 	e.plan = plan
 	e.asn = plan.Assignment
-	e.prefs = cgroup.PreferenceLists(e.asn.U())
+	e.steal = policy.NewStealOrder(&e.plan, e.cfg.Cores)
 	e.res.AdjusterSimTime += plan.Overhead
 	e.res.AdjusterHostTime += plan.HostTime
 
@@ -329,32 +303,22 @@ func (e *engine) observeBatch(bi int, dur float64, census []int, plan Plan) {
 	}
 }
 
-// place distributes the batch's tasks into pools per the plan.
+// place distributes the batch's tasks into pools per the plan's
+// placement discipline (policy.Placer — shared with the live runtime).
 func (e *engine) place(b *task.Batch) {
 	m, u := e.cfg.Cores, e.asn.U()
-	e.pools = make([][]pool, m)
+	e.pools = make([][]deque.Deque[*task.Task], m)
 	for c := range e.pools {
-		e.pools[c] = make([]pool, u)
-	}
-	if e.plan.ScatterAll {
-		for i := range b.Tasks {
-			c := i % m
-			e.pools[c][e.asn.CoreGroup[c]].push(&b.Tasks[i])
+		e.pools[c] = make([]deque.Deque[*task.Task], u)
+		for g := range e.pools[c] {
+			e.pools[c][g] = deque.NewLocked[*task.Task]()
 		}
-		return
 	}
-	// By class: round-robin across the class's reserved placement
-	// cores (its CC-count slice of its c-group), so same-group classes
-	// start on disjoint pools.
-	_ = u
-	next := map[string]int{}
+	pl := policy.NewPlacer(&e.plan, m)
 	for i := range b.Tasks {
 		t := &b.Tasks[i]
-		g := e.asn.GroupOfClass(t.Class)
-		members := e.asn.PlacementCores(t.Class)
-		c := members[next[t.Class]%len(members)]
-		next[t.Class]++
-		e.pools[c][g].push(t)
+		c, g := pl.Place(t.Class)
+		e.pools[c][g].PushBottom(t)
 	}
 }
 
@@ -413,7 +377,9 @@ func (e *engine) complete(c int, t *task.Task, exec float64, level int) {
 
 // acquire finds the next task for core c, returning the task, the
 // number of pools probed, whether it was a remote steal, and the victim
-// c-group of a successful steal (-1 otherwise).
+// c-group of a successful steal (-1 otherwise). The victim order —
+// classic random stealing or the paper's rob-the-weaker-first
+// preference walk — comes from the shared policy core.
 func (e *engine) acquire(c int) (*task.Task, int, bool, int) {
 	probes := 0
 	myG := e.asn.CoreGroup[c]
@@ -421,52 +387,29 @@ func (e *engine) acquire(c int) (*task.Task, int, bool, int) {
 
 	// Local pool first — both disciplines.
 	probes++
-	if t := e.pools[c][myG].popBottom(); t != nil {
+	if t, ok := e.pools[c][myG].PopBottom(); ok {
 		return t, probes, false, -1
 	}
 
-	if e.plan.RandomSteal {
-		// Classic Cilk: probe every other core's own-group pool in
-		// random order until one yields.
-		order := e.victimRNG[c].Perm(e.cfg.Cores)
-		for _, v := range order {
-			if v == c {
-				continue
-			}
-			probes++
-			g := e.asn.CoreGroup[v]
-			if counted {
-				e.eo.stealAttempts[g].Inc()
-			}
-			if t := e.pools[v][g].stealTop(); t != nil {
-				if counted {
-					e.eo.steals[g].Inc()
-				}
-				return t, probes, true, g
-			}
+	var got *task.Task
+	victimG := -1
+	e.steal.ForEachVictim(c, e.victimRNG[c], func(v, g int) bool {
+		probes++
+		if counted {
+			e.eo.stealAttempts[g].Inc()
 		}
+		t, ok := e.pools[v][g].Steal()
+		if !ok {
+			return false
+		}
+		if counted {
+			e.eo.steals[g].Inc()
+		}
+		got, victimG = t, g
+		return true
+	})
+	if got == nil {
 		return nil, probes, false, -1
 	}
-
-	// Preference-based stealing (paper §III-B): own group's pools in
-	// random victim order, then other groups per the preference list.
-	for _, g := range e.prefs[myG] {
-		order := e.victimRNG[c].Perm(e.cfg.Cores)
-		for _, v := range order {
-			if v == c && g == myG {
-				continue // already checked local
-			}
-			probes++
-			if counted {
-				e.eo.stealAttempts[g].Inc()
-			}
-			if t := e.pools[v][g].stealTop(); t != nil {
-				if counted {
-					e.eo.steals[g].Inc()
-				}
-				return t, probes, true, g
-			}
-		}
-	}
-	return nil, probes, false, -1
+	return got, probes, true, victimG
 }

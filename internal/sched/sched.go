@@ -1,18 +1,10 @@
-// Package sched contains the discrete-event scheduling engine and the
-// four scheduling policies the paper evaluates:
-//
-//   - Cilk   — classic random work stealing; every core at F0; idle
-//     cores busy-steal (spin) at full power until the batch barrier.
-//   - CilkD  — Cilk plus the paper's DVFS strawman: a core that finds
-//     every pool empty clocks itself down to the lowest frequency
-//     (still spinning) until the next batch.
-//   - WATS   — workload-aware task stealing on a *fixed* asymmetric
-//     frequency configuration (the paper's [9]): heavy task classes are
-//     allocated to fast c-groups by capacity, idle cores steal by
-//     preference list, but frequencies never change.
-//   - EEWA   — the paper's contribution: per-batch online profiling, CC
-//     table + Algorithm 1 backtracking to choose a frequency
-//     configuration, c-group allocation, and preference-based stealing.
+// Package sched is the discrete-event execution engine for the
+// scheduling policies of internal/policy (Cilk, Cilk-D, WATS, EEWA).
+// All decision logic — per-batch planning, task placement, steal
+// preference order, out-of-work behaviour — lives in internal/policy
+// and is shared verbatim with the live goroutine runtime
+// (internal/rt); this package only executes those decisions on a
+// simulated machine.
 //
 // The engine executes one task.Workload on one machine.Machine under
 // one Policy, producing a Result with makespan, wall energy, per-batch
@@ -24,9 +16,8 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/cgroup"
-	"repro/internal/machine"
 	"repro/internal/obs"
+	"repro/internal/policy"
 	"repro/internal/profile"
 )
 
@@ -104,66 +95,20 @@ func (p Params) withDefaults() Params {
 	return p
 }
 
-// Env is the read-only context a Policy sees when planning a batch.
-type Env struct {
-	// Cfg is the machine configuration.
-	Cfg machine.Config
-	// IdealTime is T, the duration of the first batch (0 while the
-	// first batch has not completed yet).
-	IdealTime float64
-	// AdjusterCharge is the simulated overhead a planning policy
-	// should report in Plan.Overhead (from Params).
-	AdjusterCharge float64
-}
-
-// Plan is a policy's decision for one batch.
-type Plan struct {
-	// Assignment carries the frequency configuration (c-groups) and
-	// the class→c-group allocation for the batch.
-	Assignment *cgroup.Assignment
-	// Overhead is simulated seconds charged at the batch boundary for
-	// computing this plan (EEWA's adjuster; zero for the baselines).
-	Overhead float64
-	// HostTime is the real wall time the policy spent computing the
-	// plan on the host, accumulated into Result.AdjusterHostTime for
-	// Table III.
-	HostTime time.Duration
-	// SearchSteps is the number of Select attempts the tuple search
-	// performed for this plan (0 when no search ran) — the backtracking
-	// depth surfaced to the metrics layer.
-	SearchSteps int
-	// RandomSteal selects classic Cilk victim selection: each core
-	// uses only its own-group pool and probes every other core's
-	// own-group pool in random order, ignoring c-group structure.
-	RandomSteal bool
-	// ScatterAll places tasks round-robin across all cores (into each
-	// core's own-group pool) instead of by class allocation — the
-	// placement used when no class information exists (first batch,
-	// the baselines, and EEWA's memory-bound fallback).
-	ScatterAll bool
-}
-
-// OutOfWorkAction is what a core does when it has probed every pool it
-// may take from and found nothing: it enters State, optionally
-// re-clocking to FreqLevel (-1 keeps the current level). No work can
-// arrive until the next batch, so the action holds until the barrier.
-type OutOfWorkAction struct {
-	State     machine.CoreState
-	FreqLevel int
-}
-
-// Policy is a scheduling discipline the engine can execute.
-type Policy interface {
-	// Name identifies the policy in results and tables.
-	Name() string
-	// BeginBatch plans batch bi. prof holds the classes profiled from
-	// batch bi-1 (empty for bi = 0); the engine resets the profiler
-	// after this call.
-	BeginBatch(bi int, prof *profile.Profiler, env *Env) Plan
-	// OutOfWork is consulted when a core exhausts every reachable
-	// pool for the remainder of a batch.
-	OutOfWork(core int) OutOfWorkAction
-}
+// The decision-surface types are owned by internal/policy and shared
+// with the live runtime; the aliases keep this package's historical
+// API for the engine's callers.
+type (
+	// Env is the read-only context a Policy sees when planning a batch.
+	Env = policy.Env
+	// Plan is a policy's decision for one batch.
+	Plan = policy.Plan
+	// OutOfWorkAction is what a core does once every reachable pool is
+	// empty for the remainder of a batch.
+	OutOfWorkAction = policy.OutOfWorkAction
+	// Policy is a scheduling discipline the engine can execute.
+	Policy = policy.Policy
+)
 
 // Result is everything a simulation run reports.
 type Result struct {

@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"repro/internal/machine"
+	"repro/internal/policy"
 	"repro/internal/sched"
 	"repro/internal/stats"
 	"repro/internal/workloads"
@@ -140,18 +141,7 @@ func Run(g Grid) ([]Record, error) {
 }
 
 func newPolicy(name string, cfg machine.Config) (sched.Policy, error) {
-	switch name {
-	case "cilk":
-		return sched.NewCilk(), nil
-	case "cilk-d":
-		return sched.NewCilkD(len(cfg.Freqs)), nil
-	case "wats":
-		return sched.NewWATS(sched.DefaultWATSLevels(cfg.Cores, len(cfg.Freqs)), len(cfg.Freqs))
-	case "eewa":
-		return sched.NewEEWA(), nil
-	default:
-		return nil, fmt.Errorf("sweep: unknown policy %q", name)
-	}
+	return policy.New(name, cfg)
 }
 
 // WriteCSV emits the records with a header row.

@@ -1,0 +1,97 @@
+package eewa_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	eewa "repro"
+	"repro/internal/policy"
+	"repro/internal/rt"
+)
+
+// TestCanonicalPolicyNamesAcceptedEverywhere pins the refactor's
+// contract: one canonical name set (owned by internal/policy) is
+// accepted by the facade's NewPolicy (simulator path) and by
+// rt.ParsePolicy (live path), and the facade constants are exactly
+// that set.
+func TestCanonicalPolicyNamesAcceptedEverywhere(t *testing.T) {
+	cfg := eewa.Opteron16()
+	names := eewa.PolicyNames()
+	if len(names) != 4 {
+		t.Fatalf("PolicyNames() = %v, want 4 policies", names)
+	}
+	for _, name := range names {
+		if _, err := eewa.NewPolicy(name, cfg); err != nil {
+			t.Errorf("NewPolicy(%q): %v", name, err)
+		}
+		lp, err := eewa.ParseLivePolicy(name)
+		if err != nil {
+			t.Errorf("ParseLivePolicy(%q): %v", name, err)
+			continue
+		}
+		if lp.String() != name {
+			t.Errorf("live policy %q round-trips as %q", name, lp.String())
+		}
+	}
+
+	wantConsts := map[string]string{
+		eewa.PolicyCilk:  policy.IDCilk,
+		eewa.PolicyCilkD: policy.IDCilkD,
+		eewa.PolicyWATS:  policy.IDWATS,
+		eewa.PolicyEEWA:  policy.IDEEWA,
+	}
+	for got, want := range wantConsts {
+		if got != want {
+			t.Errorf("facade constant %q != canonical %q", got, want)
+		}
+	}
+
+	wantLive := map[rt.Policy]string{
+		eewa.LivePolicyCilk:  policy.IDCilk,
+		eewa.LivePolicyCilkD: policy.IDCilkD,
+		eewa.LivePolicyWATS:  policy.IDWATS,
+		eewa.LivePolicyEEWA:  policy.IDEEWA,
+	}
+	for sel, want := range wantLive {
+		if sel.String() != want {
+			t.Errorf("live selector %d stringifies as %q, want %q", int(sel), sel.String(), want)
+		}
+	}
+
+	if _, err := eewa.NewPolicy("bogus", cfg); err == nil {
+		t.Error("NewPolicy should reject unknown names")
+	}
+	if _, err := eewa.ParseLivePolicy("bogus"); err == nil {
+		t.Error("ParseLivePolicy should reject unknown names")
+	}
+}
+
+// TestLiveRuntimeRunsEveryPolicy exercises the facade's live path for
+// all four policies — before the shared policy core only cilk and eewa
+// could run live.
+func TestLiveRuntimeRunsEveryPolicy(t *testing.T) {
+	for _, name := range eewa.PolicyNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			pol, err := eewa.ParseLivePolicy(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := eewa.NewRuntime(eewa.LiveConfig{
+				Workers: 2, Machine: eewa.Opteron16(), Policy: pol, Seed: 1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var done atomic.Int64
+			var tasks []eewa.LiveTask
+			for i := 0; i < 6; i++ {
+				tasks = append(tasks, eewa.LiveTask{Class: "t", Run: func() { done.Add(1) }})
+			}
+			bs := r.RunBatch(tasks)
+			if bs.Tasks != 6 || done.Load() != 6 {
+				t.Fatalf("ran %d tasks (%d executed), want 6", bs.Tasks, done.Load())
+			}
+		})
+	}
+}

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-check cover experiments examples obs-demo clean
+.PHONY: all build vet test race bench bench-check check check-long cover experiments examples obs-demo clean
 
 all: build vet test
 
@@ -29,6 +29,23 @@ bench:
 # CI variant: compare against the committed baseline, never rewrite.
 bench-check:
 	$(GO) run ./cmd/eewa-benchjson -check-only
+
+# Concurrency-correctness harness, tier-1 budget: the deque model
+# checker (with its mutant self-test), the short stress mode and the
+# runtime invariants, all under the race detector. DESIGN.md §8
+# documents what each side proves.
+check:
+	$(GO) vet ./internal/check/ ./internal/deque/
+	$(GO) test -race ./internal/check/ ./internal/deque/
+
+# Nightly variant: long randomized stress (60 s per stress test) and
+# repeated -race runs across the concurrency-sensitive packages, plus
+# the whole tree with runtime invariants forced on via the eewa_check
+# build tag.
+check-long:
+	EEWA_STRESS_SECONDS=60 $(GO) test -race -count=2 -timeout 30m \
+		./internal/check/ ./internal/deque/ ./internal/policy/ ./internal/rt/
+	$(GO) test -tags eewa_check -race ./internal/rt/ ./internal/check/
 
 cover:
 	$(GO) test -cover ./...

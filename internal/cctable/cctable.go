@@ -28,11 +28,36 @@
 package cctable
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"repro/internal/machine"
 	"repro/internal/profile"
+)
+
+// Typed construction errors. Callers that degrade gracefully on a bad
+// profile (e.g. core.Adjuster falling back to all-F0) can distinguish
+// "the workload snapshot was degenerate" (ErrNoClasses, ErrClassWeight)
+// from "the caller passed garbage" (ErrIdealTime, ErrUnsorted,
+// ErrMaxCores) with errors.Is.
+var (
+	// ErrNoClasses is returned when the class list is empty.
+	ErrNoClasses = errors.New("cctable: no task classes")
+	// ErrIdealTime is returned when the ideal iteration time T is not a
+	// positive finite number — the table's denominator would be
+	// meaningless.
+	ErrIdealTime = errors.New("cctable: ideal time must be positive and finite")
+	// ErrClassWeight is returned when a class carries no schedulable
+	// weight (Count ≤ 0, or AvgWork not a positive finite number): its
+	// CC entries would be 0/0, NaN or infinite.
+	ErrClassWeight = errors.New("cctable: class has no schedulable weight")
+	// ErrUnsorted is returned when classes are not in descending-AvgWork
+	// order, which Algorithm 1's monotonicity constraint assumes.
+	ErrUnsorted = errors.New("cctable: classes not sorted by descending workload")
+	// ErrMaxCores is returned by BuildGranular for a non-positive core
+	// budget.
+	ErrMaxCores = errors.New("cctable: maxCores must be positive")
 )
 
 // Table is a built CC table plus the inputs it was derived from.
@@ -61,14 +86,20 @@ func Build(classes []profile.Class, ladder machine.FreqLadder, T float64) (*Tabl
 		return nil, err
 	}
 	if len(classes) == 0 {
-		return nil, fmt.Errorf("cctable: no task classes")
+		return nil, ErrNoClasses
 	}
 	if T <= 0 || math.IsNaN(T) || math.IsInf(T, 0) {
-		return nil, fmt.Errorf("cctable: invalid ideal time %g", T)
+		return nil, fmt.Errorf("%w: got %g", ErrIdealTime, T)
+	}
+	for i, c := range classes {
+		if c.Count <= 0 || !(c.AvgWork > 0) || math.IsInf(c.AvgWork, 0) {
+			return nil, fmt.Errorf("%w: class %d (%q) count=%d avg=%g",
+				ErrClassWeight, i, c.Name, c.Count, c.AvgWork)
+		}
 	}
 	for i := 1; i < len(classes); i++ {
 		if classes[i].AvgWork > classes[i-1].AvgWork+1e-12 {
-			return nil, fmt.Errorf("cctable: classes not sorted by descending workload at %d", i)
+			return nil, fmt.Errorf("%w: at index %d", ErrUnsorted, i)
 		}
 	}
 	r, k := len(ladder), len(classes)
@@ -120,7 +151,7 @@ func BuildGranular(classes []profile.Class, ladder machine.FreqLadder, T float64
 		return nil, err
 	}
 	if maxCores <= 0 {
-		return nil, fmt.Errorf("cctable: maxCores must be positive, got %d", maxCores)
+		return nil, fmt.Errorf("%w: got %d", ErrMaxCores, maxCores)
 	}
 	sentinel := maxCores*len(ladder) + 1
 	for j := 0; j < t.R(); j++ {

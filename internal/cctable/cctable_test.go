@@ -1,6 +1,7 @@
 package cctable
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"testing"
@@ -155,24 +156,47 @@ func TestBuildCeilMinimumOne(t *testing.T) {
 
 func TestBuildRejectsBadInput(t *testing.T) {
 	good := []profile.Class{{Name: "a", Count: 1, AvgWork: 1}}
-	if _, err := Build(nil, ladder4, 1); err == nil {
-		t.Error("no classes should error")
+	cases := []struct {
+		name    string
+		classes []profile.Class
+		ladder  machine.FreqLadder
+		T       float64
+		want    error
+	}{
+		{"no classes", nil, ladder4, 1, ErrNoClasses},
+		{"zero T", good, ladder4, 0, ErrIdealTime},
+		{"negative T", good, ladder4, -3, ErrIdealTime},
+		{"NaN T", good, ladder4, math.NaN(), ErrIdealTime},
+		{"Inf T", good, ladder4, math.Inf(1), ErrIdealTime},
+		{"zero count", []profile.Class{{Name: "a", Count: 0, AvgWork: 1}}, ladder4, 1, ErrClassWeight},
+		{"zero weight", []profile.Class{{Name: "a", Count: 4, AvgWork: 0}}, ladder4, 1, ErrClassWeight},
+		{"NaN weight", []profile.Class{{Name: "a", Count: 4, AvgWork: math.NaN()}}, ladder4, 1, ErrClassWeight},
+		{"Inf weight", []profile.Class{{Name: "a", Count: 4, AvgWork: math.Inf(1)}}, ladder4, 1, ErrClassWeight},
+		{"unsorted", []profile.Class{
+			{Name: "a", Count: 1, AvgWork: 1},
+			{Name: "b", Count: 1, AvgWork: 2},
+		}, ladder4, 1, ErrUnsorted},
 	}
-	if _, err := Build(good, ladder4, 0); err == nil {
-		t.Error("zero T should error")
-	}
-	if _, err := Build(good, ladder4, math.NaN()); err == nil {
-		t.Error("NaN T should error")
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Build(tc.classes, tc.ladder, tc.T)
+			if !errors.Is(err, tc.want) {
+				t.Errorf("Build error = %v, want errors.Is(err, %v)", err, tc.want)
+			}
+		})
 	}
 	if _, err := Build(good, machine.FreqLadder{}, 1); err == nil {
 		t.Error("bad ladder should error")
 	}
-	unsorted := []profile.Class{
-		{Name: "a", Count: 1, AvgWork: 1},
-		{Name: "b", Count: 1, AvgWork: 2},
+	// A degenerate class must fail BuildGranular identically (it
+	// delegates validation to Build, so perTask is always positive and
+	// the T/perTask division below can never produce NaN or Inf).
+	zero := []profile.Class{{Name: "a", Count: 3, AvgWork: 0}}
+	if _, err := BuildGranular(zero, ladder4, 1, 16); !errors.Is(err, ErrClassWeight) {
+		t.Errorf("BuildGranular(zero-weight) error = %v, want ErrClassWeight", err)
 	}
-	if _, err := Build(unsorted, ladder4, 1); err == nil {
-		t.Error("unsorted classes should error")
+	if _, err := BuildGranular(good, ladder4, 1, 0); !errors.Is(err, ErrMaxCores) {
+		t.Errorf("BuildGranular(maxCores=0) error = %v, want ErrMaxCores", err)
 	}
 }
 

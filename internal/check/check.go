@@ -1,0 +1,27 @@
+// Package check is the concurrency-correctness harness for the live
+// EEWA runtime. It attacks the same failure mode from three sides:
+//
+//   - a deterministic *schedule explorer* (Explore): the Chase–Lev
+//     deque algorithm is transliterated into resumable steps, one per
+//     shared atomic access, and a context-bounded DFS enumerates the
+//     interleavings of one owner and K thieves, asserting after every
+//     complete execution that the outcome is linearizable against the
+//     deque.Locked oracle — every pushed value delivered exactly once,
+//     no phantom values, Len within bounds, steals claiming strictly
+//     increasing indices. Seeded mutants (Mutations) prove the
+//     explorer has teeth: each must be flagged;
+//
+//   - a randomized *stress mode* (Stress): the real internal/deque
+//     implementations hammered under the Go scheduler with preemption
+//     injection and ring-growth/wraparound pressure, checking the same
+//     conservation properties — run it under -race;
+//
+//   - *runtime invariants* (TaskConservation, EnergyIdentity,
+//     PlanFeasible, TupleFeasible): algebraic batch-boundary checks
+//     internal/rt evaluates when rt.Config.Invariants is set or the
+//     binary is built with -tags eewa_check, reporting failures
+//     through the eewa_rt_invariant_violations_total metric.
+//
+// See DESIGN.md §8 for the memory-model argument the explorer encodes
+// and the exploration bounds.
+package check

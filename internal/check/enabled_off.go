@@ -1,0 +1,8 @@
+//go:build !eewa_check
+
+package check
+
+// BuildEnabled is false in default builds: the live runtime evaluates
+// batch invariants only when rt.Config.Invariants is set. Build with
+// -tags eewa_check to force them on everywhere.
+const BuildEnabled = false

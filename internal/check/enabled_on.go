@@ -1,0 +1,8 @@
+//go:build eewa_check
+
+package check
+
+// BuildEnabled reports that this binary was built with the eewa_check
+// tag: the live runtime evaluates its batch invariants unconditionally
+// (equivalent to rt.Config.Invariants = true everywhere).
+const BuildEnabled = true

@@ -1,0 +1,94 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cctable"
+	"repro/internal/cgroup"
+	"repro/internal/machine"
+	"repro/internal/profile"
+)
+
+func TestTaskConservation(t *testing.T) {
+	if vs := TaskConservation([]int32{1, 1, 1}); len(vs) != 0 {
+		t.Errorf("clean counts flagged: %v", vs)
+	}
+	vs := TaskConservation([]int32{1, 0, 2})
+	if len(vs) != 2 {
+		t.Fatalf("got %d violations, want 2: %v", len(vs), vs)
+	}
+	for _, v := range vs {
+		if v.Invariant != "task-conservation" {
+			t.Errorf("invariant = %q", v.Invariant)
+		}
+	}
+}
+
+func TestEnergyIdentity(t *testing.T) {
+	// Exact decomposition: clean.
+	if vs := EnergyIdentity(0, 10, 4, 3, 2, 1, 0, 1e-6); len(vs) != 0 {
+		t.Errorf("exact identity flagged: %v", vs)
+	}
+	// Residual-balanced clipping: identity holds, residual flagged.
+	vs := EnergyIdentity(1, 10, 8, 3, 2, 0, 3, 1e-6)
+	if len(vs) != 1 || vs[0].Invariant != "energy-residual" {
+		t.Errorf("clipped accounting: got %v, want one energy-residual", vs)
+	}
+	// Leaked wall time: identity broken.
+	vs = EnergyIdentity(2, 10, 4, 3, 0, 1, 0, 1e-6)
+	if len(vs) != 1 || vs[0].Invariant != "energy-identity" {
+		t.Errorf("leaky accounting: got %v, want one energy-identity", vs)
+	}
+}
+
+func TestPlanFeasible(t *testing.T) {
+	if vs := PlanFeasible(nil, 4, 3); len(vs) != 1 {
+		t.Errorf("nil assignment: %v", vs)
+	}
+	asn := cgroup.AllFast(4, nil)
+	if vs := PlanFeasible(asn, 4, 3); len(vs) != 0 {
+		t.Errorf("all-fast flagged: %v", vs)
+	}
+	// Wrong machine size: structural failure.
+	if vs := PlanFeasible(asn, 5, 3); len(vs) == 0 {
+		t.Error("4-core assignment accepted for 5-core machine")
+	}
+	// Non-monotone tuple smuggled into a structurally valid assignment.
+	asn.Tuple = []int{2, 1}
+	vs := PlanFeasible(asn, 4, 3)
+	if len(vs) != 1 || !strings.Contains(vs[0].Detail, "monotone") {
+		t.Errorf("non-monotone tuple: %v", vs)
+	}
+}
+
+func TestTupleFeasible(t *testing.T) {
+	ladder := machine.FreqLadder{3.0, 2.0, 1.0}
+	classes := []profile.Class{
+		{Name: "a", Count: 8, AvgWork: 0.5},
+		{Name: "b", Count: 8, AvgWork: 0.25},
+	}
+	tab, err := cctable.Build(classes, ladder, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuple, ok := tab.SearchTuple(8)
+	if !ok {
+		t.Fatal("no tuple for a feasible instance")
+	}
+	if vs := TupleFeasible(tab, tuple, 8); len(vs) != 0 {
+		t.Errorf("Algorithm 1 result flagged: %v", vs)
+	}
+	if vs := TupleFeasible(tab, []int{2, 0}, 8); len(vs) == 0 {
+		t.Error("non-monotone tuple accepted")
+	}
+	if vs := TupleFeasible(tab, []int{0}, 8); len(vs) == 0 {
+		t.Error("short tuple accepted")
+	}
+	if vs := TupleFeasible(tab, []int{0, 5}, 8); len(vs) == 0 {
+		t.Error("out-of-ladder tuple accepted")
+	}
+	if vs := TupleFeasible(tab, tuple, 1); len(vs) == 0 {
+		t.Error("over-budget tuple accepted for a 1-core machine")
+	}
+}

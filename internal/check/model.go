@@ -1,0 +1,329 @@
+// Step-machine model of the Chase–Lev deque for the schedule explorer.
+//
+// The explorer cannot preempt the real internal/deque.Chase between two
+// atomic instructions — Go gives us no way to single-step compiled
+// code — so the algorithm is transliterated here as a *resumable step
+// machine*: every shared-memory access (each atomic load, store and
+// CAS of internal/deque) is one discrete step, and everything between
+// two shared accesses (local arithmetic, branch decisions) is folded
+// into the step that ends it. Because Go's sync/atomic operations are
+// sequentially consistent, exploring all interleavings of these steps
+// under a sequentially consistent interpreter covers exactly the
+// behaviours the real deque can exhibit; the step boundaries below are
+// annotated with the lines of deque.go they correspond to.
+//
+// The model is deliberately mutable into known-broken variants
+// (Mutation) so the explorer can prove it has teeth: each mutant must
+// be flagged by at least one explored interleaving (see
+// TestExplorerDetectsMutants).
+
+package check
+
+import "math"
+
+// Mutation selects a deliberately broken variant of the modeled deque.
+// MutNone is the faithful transliteration of internal/deque.Chase.
+type Mutation int
+
+const (
+	// MutNone is the correct algorithm.
+	MutNone Mutation = iota
+	// MutStealNoCAS makes Steal publish top with a plain store instead
+	// of a compare-and-swap: two thieves (or a thief and the owner's
+	// single-element pop) can both claim the same index.
+	MutStealNoCAS
+	// MutStealBottomFirst inverts Lê et al.'s load order in Steal:
+	// bottom is read before top. A thief holding a stale bottom can
+	// then claim an index the owner's PopBottom already took without
+	// a CAS (the t < b multi-element fast path).
+	MutStealBottomFirst
+	// MutPopNoRestore drops the bottom-restore in PopBottom's empty
+	// path: bottom decrements below top and stays there, so the next
+	// push lands at a negative index and the value is never visible.
+	MutPopNoRestore
+	// MutGrowNoCopy publishes the doubled ring without copying the
+	// live [top, bottom) window: every value pushed before the growth
+	// is lost.
+	MutGrowNoCopy
+)
+
+// String names the mutation for test output.
+func (m Mutation) String() string {
+	switch m {
+	case MutNone:
+		return "none"
+	case MutStealNoCAS:
+		return "steal-no-cas"
+	case MutStealBottomFirst:
+		return "steal-bottom-first"
+	case MutPopNoRestore:
+		return "pop-no-restore"
+	case MutGrowNoCopy:
+		return "grow-no-copy"
+	default:
+		return "mutation(?)"
+	}
+}
+
+// Mutations returns every seeded broken variant (everything but
+// MutNone) — the self-test set the harness must flag.
+func Mutations() []Mutation {
+	return []Mutation{MutStealNoCAS, MutStealBottomFirst, MutPopNoRestore, MutGrowNoCopy}
+}
+
+// hole marks a model ring slot that was never written — the analogue
+// of a nil *T in the real atomic.Pointer ring. Delivering it is a
+// phantom-value violation.
+const hole = int64(math.MinInt64)
+
+// mring mirrors deque.ring: an immutable-capacity circular buffer.
+// Slots are written only by the owner; the explorer serializes steps,
+// so plain values model the real atomic slots exactly.
+type mring struct {
+	mask  int64
+	slots []int64
+}
+
+func newMring(capacity int64) mring {
+	s := mring{mask: capacity - 1, slots: make([]int64, capacity)}
+	for i := range s.slots {
+		s.slots[i] = hole
+	}
+	return s
+}
+
+func (r *mring) cap() int64           { return int64(len(r.slots)) }
+func (r *mring) get(i int64) int64    { return r.slots[i&r.mask] }
+func (r *mring) put(i int64, v int64) { r.slots[i&r.mask] = v }
+
+// dstate is the shared memory of the modeled deque: the top and bottom
+// words plus the published ring. Old rings stay readable (rings is
+// append-only) because a stalled thread may hold a stale ring register,
+// exactly like a stale atomic.Pointer load of the real ring.
+type dstate struct {
+	top, bottom int64
+	cur         int // index of the published ring in rings
+	rings       []mring
+}
+
+func newDstate(ringCap int64) dstate {
+	return dstate{rings: []mring{newMring(ringCap)}}
+}
+
+func (st *dstate) clone() dstate {
+	c := *st
+	c.rings = make([]mring, len(st.rings))
+	for i, r := range st.rings {
+		c.rings[i] = mring{mask: r.mask, slots: append([]int64(nil), r.slots...)}
+	}
+	return c
+}
+
+// OpKind is one deque operation in a thread program.
+type OpKind int
+
+const (
+	// OpPush is PushBottom (owner only).
+	OpPush OpKind = iota
+	// OpPop is PopBottom (owner only).
+	OpPop
+	// OpSteal is Steal (thieves).
+	OpSteal
+)
+
+// Op is one operation with its payload (pushes only).
+type Op struct {
+	Kind OpKind
+	Val  int64
+}
+
+// Push, Pop and Steal are program-building helpers.
+func Push(v int64) Op { return Op{Kind: OpPush, Val: v} }
+func Pop() Op         { return Op{Kind: OpPop} }
+func StealOp() Op     { return Op{Kind: OpSteal} }
+
+// opResult records one completed operation, including the global step
+// index of its linearization point so the oracle replay can order it.
+type opResult struct {
+	Kind OpKind
+	Val  int64
+	Ok   bool
+	Lin  int   // global step index of the linearization point; -1 for failed ops
+	Idx  int64 // deque index a successful steal claimed (monotonicity check)
+}
+
+// thr is one modeled thread: its program, the program counter inside
+// the current op, and the local registers the real code would hold in
+// locals across atomic accesses.
+type thr struct {
+	id      int
+	prog    []Op
+	op      int // index of the current op in prog
+	pc      int // step within the current op
+	t, b    int64
+	ring    int // ring register: index into dstate.rings (a stale load stays stale)
+	vp      int64
+	lin     int // provisional linearization step (PopBottom's bottom-store)
+	results []opResult
+}
+
+func (th *thr) done() bool { return th.op >= len(th.prog) }
+
+func (th *thr) clone() *thr {
+	c := *th
+	c.results = append([]opResult(nil), th.results...)
+	return &c
+}
+
+func (th *thr) finish(res opResult) {
+	res.Kind = th.prog[th.op].Kind
+	th.results = append(th.results, res)
+	th.op++
+	th.pc = 0
+}
+
+// step advances thread th by exactly one shared-memory access against
+// st. stepIdx is the global step counter (linearization timestamps).
+// The pc values mirror internal/deque/deque.go; the comments cite it.
+func (th *thr) step(st *dstate, mut Mutation, stepIdx int) {
+	op := th.prog[th.op]
+	switch op.Kind {
+	case OpPush:
+		switch th.pc {
+		case 0: // b := d.bottom.Load()
+			th.b = st.bottom
+			th.pc = 1
+		case 1: // t := d.top.Load()
+			th.t = st.top
+			th.pc = 2
+		case 2: // r := d.ring.Load(); full check is local
+			th.ring = st.cur
+			if th.b-th.t >= st.rings[th.ring].cap()-1 {
+				th.pc = 3 // grow
+			} else {
+				th.pc = 4
+			}
+		case 3: // r = r.grow(t, b); d.ring.Store(r)
+			// Allocation+copy+publish is one step: the new ring is
+			// invisible to other threads until the Store, and only the
+			// owner writes slots, so no interleaving can observe an
+			// intermediate state.
+			old := st.rings[th.ring]
+			nr := newMring(old.cap() * 2)
+			if mut != MutGrowNoCopy {
+				for i := th.t; i < th.b; i++ {
+					nr.put(i, old.get(i))
+				}
+			}
+			st.rings = append(st.rings, nr)
+			st.cur = len(st.rings) - 1
+			th.ring = st.cur
+			th.pc = 4
+		case 4: // r.put(b, &v)
+			st.rings[th.ring].put(th.b, op.Val)
+			th.pc = 5
+		case 5: // d.bottom.Store(b + 1) — the push's linearization point
+			st.bottom = th.b + 1
+			th.finish(opResult{Val: op.Val, Ok: true, Lin: stepIdx})
+		}
+
+	case OpPop:
+		switch th.pc {
+		case 0: // b := d.bottom.Load() - 1
+			th.b = st.bottom - 1
+			th.pc = 1
+		case 1: // r := d.ring.Load()
+			th.ring = st.cur
+			th.pc = 2
+		case 2: // d.bottom.Store(b) — linearization point if the
+			// multi-element fast path succeeds (it claims index b)
+			st.bottom = th.b
+			th.lin = stepIdx
+			th.pc = 3
+		case 3: // t := d.top.Load(); empty check is local
+			th.t = st.top
+			if th.t > th.b {
+				if mut == MutPopNoRestore {
+					// Seeded bug: forget d.bottom.Store(t).
+					th.finish(opResult{Lin: -1})
+				} else {
+					th.pc = 4
+				}
+			} else {
+				th.pc = 5
+			}
+		case 4: // d.bottom.Store(t) — restore the empty invariant
+			st.bottom = th.t
+			th.finish(opResult{Lin: -1})
+		case 5: // vp := r.get(b); t != b check is local
+			th.vp = st.rings[th.ring].get(th.b)
+			if th.t != th.b {
+				th.finish(opResult{Val: th.vp, Ok: true, Lin: th.lin, Idx: th.b})
+			} else {
+				th.pc = 6
+			}
+		case 6: // won := d.top.CompareAndSwap(t, t+1)
+			if st.top == th.t {
+				st.top = th.t + 1
+				th.lin = stepIdx // CAS success is the linearization point
+				th.pc = 7
+			} else {
+				th.pc = 8
+			}
+		case 7: // d.bottom.Store(t + 1); return *vp, true
+			st.bottom = th.t + 1
+			th.finish(opResult{Val: th.vp, Ok: true, Lin: th.lin, Idx: th.b})
+		case 8: // d.bottom.Store(t + 1); return zero, false
+			st.bottom = th.t + 1
+			th.finish(opResult{Lin: -1})
+		}
+
+	case OpSteal:
+		switch th.pc {
+		case 0: // t := d.top.Load() (mutant: bottom first)
+			if mut == MutStealBottomFirst {
+				th.b = st.bottom
+			} else {
+				th.t = st.top
+			}
+			th.pc = 1
+		case 1: // b := d.bottom.Load(); empty check is local
+			if mut == MutStealBottomFirst {
+				th.t = st.top
+			} else {
+				th.b = st.bottom
+			}
+			if th.t >= th.b {
+				th.finish(opResult{Lin: -1})
+			} else {
+				th.pc = 2
+			}
+		case 2: // r := d.ring.Load()
+			th.ring = st.cur
+			th.pc = 3
+		case 3: // vp := r.get(t); nil guard (the hardened Steal)
+			th.vp = st.rings[th.ring].get(th.t)
+			if th.vp == hole {
+				// Fixed implementation: a slot the loaded ring never
+				// carried means the claim would be unsound; treat as a
+				// lost race instead of CASing blind.
+				th.finish(opResult{Lin: -1})
+			} else {
+				th.pc = 4
+			}
+		case 4: // d.top.CompareAndSwap(t, t+1)
+			if mut == MutStealNoCAS {
+				// Seeded bug: publish with a plain store, no validation.
+				st.top = th.t + 1
+				th.finish(opResult{Val: th.vp, Ok: true, Lin: stepIdx, Idx: th.t})
+				return
+			}
+			if st.top == th.t {
+				st.top = th.t + 1
+				th.finish(opResult{Val: th.vp, Ok: true, Lin: stepIdx, Idx: th.t})
+			} else {
+				th.finish(opResult{Lin: -1})
+			}
+		}
+	}
+}

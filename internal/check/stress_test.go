@@ -1,0 +1,67 @@
+package check
+
+import (
+	"os"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// stressBudget returns the per-run stress duration: a short slice of
+// the tier-1 budget by default, or EEWA_STRESS_SECONDS when set (the
+// nightly job exports 60).
+func stressBudget(t *testing.T) time.Duration {
+	if s := os.Getenv("EEWA_STRESS_SECONDS"); s != "" {
+		secs, err := strconv.ParseFloat(s, 64)
+		if err != nil || secs <= 0 {
+			t.Fatalf("bad EEWA_STRESS_SECONDS=%q: %v", s, err)
+		}
+		return time.Duration(secs * float64(time.Second))
+	}
+	if testing.Short() {
+		return 50 * time.Millisecond
+	}
+	return 300 * time.Millisecond
+}
+
+// TestStressChase is the randomized long-stress mode against the real
+// lock-free deque: preemption injection plus growth/wraparound
+// pressure, exactly-once conservation at every round barrier. Run
+// under -race to exercise the memory-model claims end to end.
+func TestStressChase(t *testing.T) {
+	rep := Stress(StressConfig{
+		Thieves:       4,
+		Duration:      stressBudget(t),
+		Seed:          7,
+		PreemptEveryN: 64,
+	})
+	if rep.Failed() {
+		for _, v := range rep.Violations {
+			t.Errorf("%s", v)
+		}
+	}
+	if rep.Rounds == 0 {
+		t.Fatal("stress completed zero rounds")
+	}
+	if rep.Stolen == 0 {
+		t.Error("stress saw zero steals — thieves never contended")
+	}
+	t.Logf("rounds=%d pushed=%d popped=%d stolen=%d", rep.Rounds, rep.Pushed, rep.Popped, rep.Stolen)
+}
+
+// TestStressLockedOracle runs the identical load against the mutex
+// oracle — if this fails, the harness (not the deque) is broken.
+func TestStressLockedOracle(t *testing.T) {
+	rep := Stress(StressConfig{
+		Thieves:       3,
+		Duration:      stressBudget(t) / 2,
+		Seed:          11,
+		PreemptEveryN: 64,
+		Locked:        true,
+	})
+	if rep.Failed() {
+		for _, v := range rep.Violations {
+			t.Errorf("harness self-check: %s", v)
+		}
+	}
+}

@@ -123,6 +123,20 @@ func (d *Chase[T]) PopBottom() (T, bool) {
 }
 
 // Steal removes the oldest value. Any goroutine may call it.
+//
+// The operation order is load-bearing (Lê et al., PPoPP 2013, Fig. 1's
+// steal): top is loaded *before* bottom, so a thief can never act on a
+// bottom older than the top it validates — reading them the other way
+// lets a thief holding a stale bottom CAS-claim an index the owner's
+// PopBottom already took on its no-CAS fast path. The ring and slot
+// are read after the emptiness check and *before* the CAS: the CAS is
+// the linearization point, and it succeeds only while top is still t,
+// which guarantees the slot read was of the live value (lapping slot
+// t&mask requires bottom ≥ t+cap, which forces a grow first, and
+// grows copy [top, bottom) into a fresh ring without ever mutating
+// the published one). A slot read after a winning CAS would have no
+// such guarantee. internal/check explores exactly these interleavings
+// against seeded mutants of this function.
 func (d *Chase[T]) Steal() (T, bool) {
 	var zero T
 	t := d.top.Load()
@@ -132,6 +146,16 @@ func (d *Chase[T]) Steal() (T, bool) {
 	}
 	r := d.ring.Load()
 	vp := r.get(t)
+	if vp == nil {
+		// Re-validate before claiming: a nil slot means this ring never
+		// carried index t — the load raced a grow+wraparound and top
+		// must already have moved past t, so the CAS below would fail.
+		// Bailing out here makes that a guaranteed lost race instead of
+		// leaning on the CAS to shield the dereference: any future
+		// reordering of these loads would otherwise surface as a nil
+		// deref that kills the worker and strands the batch.
+		return zero, false
+	}
 	if !d.top.CompareAndSwap(t, t+1) {
 		return zero, false // lost the race; caller retries elsewhere
 	}

@@ -254,6 +254,231 @@ func TestChaseAgainstOracle(t *testing.T) {
 	}
 }
 
+// TestStealGrowWraparound is the regression test for the hardened
+// Steal: one owner keeps the deque shallow while pushing far past the
+// ring capacity, so slot indices wrap repeatedly and periodic bursts
+// force grows mid-stream — thieves holding stale ring pointers race
+// every transition. Every value must still be consumed exactly once.
+func TestStealGrowWraparound(t *testing.T) {
+	const (
+		total   = 60000
+		thieves = 4
+	)
+	d := NewChase[int]()
+	var consumed [total]atomic.Int32
+	var wg sync.WaitGroup
+	var done atomic.Bool
+
+	for i := 0; i < thieves; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			last := -1
+			for !done.Load() {
+				if v, ok := d.Steal(); ok {
+					consumed[v].Add(1)
+					if v <= last {
+						t.Errorf("steal order regressed: %d after %d", v, last)
+						return
+					}
+					last = v
+				}
+			}
+			for {
+				v, ok := d.Steal()
+				if !ok {
+					return
+				}
+				consumed[v].Add(1)
+			}
+		}()
+	}
+
+	rng := xrand.New(3)
+	next := 0
+	for next < total {
+		// Mostly shallow traffic: index wraparound within the current
+		// ring. The initial capacity is 8, so a few pushes at depth < 7
+		// lap the ring every handful of iterations.
+		d.PushBottom(next)
+		next++
+		if rng.Intn(3) == 0 {
+			if v, ok := d.PopBottom(); ok {
+				consumed[v].Add(1)
+			}
+		}
+		// Periodic burst: overflow the ring to force a grow while the
+		// thieves are mid-steal, then drain back down.
+		if next%977 == 0 {
+			for j := 0; j < 40 && next < total; j++ {
+				d.PushBottom(next)
+				next++
+			}
+		}
+	}
+	for {
+		v, ok := d.PopBottom()
+		if !ok {
+			break
+		}
+		consumed[v].Add(1)
+	}
+	done.Store(true)
+	wg.Wait()
+	for {
+		v, ok := d.Steal()
+		if !ok {
+			break
+		}
+		consumed[v].Add(1)
+	}
+
+	for i := 0; i < total; i++ {
+		if n := consumed[i].Load(); n != 1 {
+			t.Fatalf("value %d consumed %d times, want exactly 1", i, n)
+		}
+	}
+}
+
+// TestPopBottomSingleElementCASLoss drives the contested single-element
+// pop over and over: owner and one thief race for the last value, so
+// PopBottom's CAS-loss path (top advanced under it) and CAS-win path
+// both execute many times. Exactly one side must win each round and the
+// deque must come back empty and reusable.
+func TestPopBottomSingleElementCASLoss(t *testing.T) {
+	d := NewChase[int]()
+	const rounds = 20000
+	var ownerWins, thiefWins int
+	start := make(chan struct{})
+	res := make(chan int, 1)
+	var wg sync.WaitGroup
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for range start {
+			if v, ok := d.Steal(); ok {
+				res <- v
+			} else {
+				res <- -1
+			}
+		}
+	}()
+
+	for r := 0; r < rounds; r++ {
+		d.PushBottom(r)
+		start <- struct{}{}
+		pv, pok := d.PopBottom()
+		sv := <-res
+		switch {
+		case pok && sv == -1:
+			if pv != r {
+				t.Fatalf("round %d: owner popped %d", r, pv)
+			}
+			ownerWins++
+		case !pok && sv == r:
+			thiefWins++
+		case pok && sv == r:
+			t.Fatalf("round %d: both sides won the single element", r)
+		default:
+			// Neither side got it — only legal if it is still queued.
+			if v, ok := d.PopBottom(); !ok || v != r {
+				t.Fatalf("round %d: value vanished (pop=%v,%v steal=%d)", r, pv, pok, sv)
+			}
+			ownerWins++
+		}
+		if d.Len() != 0 {
+			t.Fatalf("round %d: Len = %d after the race", r, d.Len())
+		}
+	}
+	close(start)
+	wg.Wait()
+	if ownerWins == 0 || thiefWins == 0 {
+		t.Logf("one-sided outcome: owner=%d thief=%d (scheduling-dependent, not a failure)", ownerWins, thiefWins)
+	}
+	t.Logf("owner wins %d, thief wins %d", ownerWins, thiefWins)
+}
+
+// TestPropertyOwnerThievesOracle is the property test comparing the two
+// implementations under the same concurrent protocol: for each seed,
+// one owner and N thieves run a randomized push/pop mix against Chase
+// and against the Locked oracle, and both must satisfy the identical
+// conservation property (every value exactly once). Run under -race,
+// this pins Chase's concurrent semantics to the trivially correct
+// implementation's.
+func TestPropertyOwnerThievesOracle(t *testing.T) {
+	impls := []struct {
+		name string
+		mk   func() Deque[int]
+	}{
+		{"chase", func() Deque[int] { return NewChase[int]() }},
+		{"locked", func() Deque[int] { return NewLocked[int]() }},
+	}
+	for seed := uint64(1); seed <= 4; seed++ {
+		for _, impl := range impls {
+			d := impl.mk()
+			const total = 8000
+			const thieves = 3
+			consumed := make([]atomic.Int32, total)
+			var wg sync.WaitGroup
+			var done atomic.Bool
+			for i := 0; i < thieves; i++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					for !done.Load() {
+						if v, ok := d.Steal(); ok {
+							consumed[v].Add(1)
+						}
+					}
+					for {
+						v, ok := d.Steal()
+						if !ok {
+							return
+						}
+						consumed[v].Add(1)
+					}
+				}(i)
+			}
+			rng := xrand.New(seed)
+			for i := 0; i < total; i++ {
+				d.PushBottom(i)
+				// Uneven mix: stretches of owner pops, stretches of
+				// pure pushes (deque deepens, thieves catch up).
+				if rng.Intn(5) < 2 {
+					if v, ok := d.PopBottom(); ok {
+						consumed[v].Add(1)
+					}
+				}
+			}
+			for {
+				v, ok := d.PopBottom()
+				if !ok {
+					break
+				}
+				consumed[v].Add(1)
+			}
+			done.Store(true)
+			wg.Wait()
+			for {
+				v, ok := d.Steal()
+				if !ok {
+					break
+				}
+				consumed[v].Add(1)
+			}
+			for i := 0; i < total; i++ {
+				if n := consumed[i].Load(); n != 1 {
+					t.Fatalf("%s seed %d: value %d consumed %d times, want 1", impl.name, seed, i, n)
+				}
+			}
+			if d.Len() != 0 {
+				t.Fatalf("%s seed %d: Len = %d after drain", impl.name, seed, d.Len())
+			}
+		}
+	}
+}
+
 func TestStructValues(t *testing.T) {
 	type payload struct {
 		a, b int

@@ -28,11 +28,13 @@ type rtObs struct {
 	poolDepth *obs.Histogram
 	dvfs      *obs.Counter
 	energy    *obs.Counter
+	residual  *obs.Counter
 
 	census []*obs.Gauge // by frequency level
 
-	adjInv  *obs.Counter
-	adjHost *obs.Counter
+	adjInv     *obs.Counter
+	adjHost    *obs.Counter
+	violations *obs.CounterVec
 }
 
 func newRTObs(reg *obs.Registry, levels int) rtObs {
@@ -57,6 +59,8 @@ func newRTObs(reg *obs.Registry, levels int) rtObs {
 			"Emulated frequency-level changes applied to workers."),
 		energy: reg.Counter("eewa_rt_energy_joules_total",
 			"Modeled energy consumed by the live runtime (joules)."),
+		residual: reg.Counter("eewa_rt_energy_residual_seconds_total",
+			"Worker-seconds the energy accounting clipped because modeled states overran the measured wall (should stay ~0)."),
 		adjInv: reg.Counter("eewa_rt_adjuster_invocations_total",
 			"Invocations of the workload-aware frequency adjuster."),
 		adjHost: reg.Counter("eewa_rt_adjuster_host_seconds_total",
@@ -69,8 +73,15 @@ func newRTObs(reg *obs.Registry, levels int) rtObs {
 		for j := range o.census {
 			o.census[j] = censusVec.With(strconv.Itoa(j))
 		}
+		o.violations = reg.CounterVec("eewa_rt_invariant_violations_total",
+			"Runtime invariant violations detected by internal/check, by invariant.", "invariant")
 	}
 	return o
+}
+
+// violation counts one invariant violation (no-op without a registry).
+func (o *rtObs) violation(invariant string) {
+	o.violations.With(invariant).Inc()
 }
 
 // observeBatch records one completed batch. depths holds the number of
@@ -89,6 +100,7 @@ func (o *rtObs) observeBatch(bs BatchStats, busy, idle, barrier float64, depths 
 	o.idleSecs.Add(idle)
 	o.barrierSecs.Add(barrier)
 	o.energy.Add(bs.Energy)
+	o.residual.Add(bs.Residual)
 	for _, d := range depths {
 		o.poolDepth.Observe(float64(d))
 	}

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/cgroup"
+	"repro/internal/check"
 	"repro/internal/deque"
 	"repro/internal/machine"
 	"repro/internal/obs"
@@ -131,6 +132,35 @@ type Config struct {
 	// internal/obs). All observations happen at batch boundaries; the
 	// worker hot loop is untouched, and a nil registry costs nothing.
 	Obs *obs.Registry
+	// Invariants enables the internal/check batch invariants: task
+	// conservation (every spawned task executed exactly once), the
+	// per-worker energy identity, and plan feasibility. Violations are
+	// collected on the runtime (Violations) and counted on the
+	// eewa_rt_invariant_violations_total metric. Building with
+	// -tags eewa_check forces this on for every runtime.
+	Invariants bool
+}
+
+// WorkerSecs is one worker's wall-time decomposition for a batch, in
+// seconds. The accounting identity is
+//
+//	Busy + Search + Dry + Halt − Residual = batch wall time
+//
+// exactly: Halt is the barrier-wait remainder, and Residual is the
+// amount the remainder had to be clipped by because the modeled states
+// overran the measured wall (it should be ≈0; a large value means a
+// state is double-counted and the energy integral is wrong).
+type WorkerSecs struct {
+	// Busy is duty-cycle-stretched payload execution at the plan level.
+	Busy float64
+	// Search is work-search time (probe/steal/sleep) at the plan level.
+	Search float64
+	// Dry is post-out-of-work spin at the policy's out-of-work level.
+	Dry float64
+	// Halt is the barrier-wait remainder, clipped at zero.
+	Halt float64
+	// Residual is the clipped overrun (accounted, never silently lost).
+	Residual float64
 }
 
 // BatchStats summarizes one batch.
@@ -148,6 +178,11 @@ type BatchStats struct {
 	Steals int
 	// Energy is the modeled energy for the batch (joules).
 	Energy float64
+	// Workers is the per-worker wall-time decomposition the energy was
+	// integrated from.
+	Workers []WorkerSecs
+	// Residual is the summed per-worker accounting residual (seconds).
+	Residual float64
 }
 
 // RunStats accumulates across batches.
@@ -175,6 +210,9 @@ type Runtime struct {
 	idealTime  time.Duration
 
 	ro rtObs
+
+	inv        bool
+	violations []check.Violation
 
 	stats RunStats
 }
@@ -209,12 +247,32 @@ func New(cfg Config) (*Runtime, error) {
 		levels: make([]int, cfg.Workers),
 		asn:    cgroup.AllFast(cfg.Workers, nil),
 		ro:     newRTObs(cfg.Obs, len(mc.Freqs)),
+		inv:    cfg.Invariants || check.BuildEnabled,
 	}
 	return r, nil
 }
 
 // Stats returns the accumulated run statistics.
 func (r *Runtime) Stats() RunStats { return r.stats }
+
+// Violations returns the invariant violations collected so far (always
+// empty unless Config.Invariants or the eewa_check build tag enabled
+// checking). A healthy runtime returns an empty slice forever.
+func (r *Runtime) Violations() []check.Violation {
+	return append([]check.Violation(nil), r.violations...)
+}
+
+// record registers invariant violations on the runtime and the metrics
+// registry.
+func (r *Runtime) record(vs []check.Violation) {
+	if len(vs) == 0 {
+		return
+	}
+	r.violations = append(r.violations, vs...)
+	for _, v := range vs {
+		r.ro.violation(v.Invariant)
+	}
+}
 
 // Census returns the current per-level worker counts.
 func (r *Runtime) Census() []int {
@@ -251,12 +309,24 @@ func (r *Runtime) RunBatch(tasks []Task) BatchStats {
 	if r.ro.reg != nil {
 		depths = make([]int, n)
 	}
+	// Task-conservation bookkeeping: execution counts indexed through a
+	// read-only pointer→index map built during (single-threaded)
+	// placement. Nil and untouched unless invariants are on.
+	var execs []atomic.Int32
+	var taskIdx map[*Task]int
+	if r.inv {
+		execs = make([]atomic.Int32, len(tasks))
+		taskIdx = make(map[*Task]int, len(tasks))
+	}
 	for i := range tasks {
 		t := &tasks[i]
 		w, g := placer.Place(t.Class)
 		pools[w][g].PushBottom(t)
 		if depths != nil {
 			depths[w]++
+		}
+		if taskIdx != nil {
+			taskIdx[t] = i
 		}
 	}
 
@@ -321,6 +391,9 @@ func (r *Runtime) RunBatch(tasks []Task) BatchStats {
 				t0 := time.Now()
 				t.Run()
 				dur := time.Since(t0)
+				if execs != nil {
+					execs[taskIdx[t]].Add(1)
+				}
 				// Duty-cycle throttle: stretch to dur × F0/Flevel.
 				if ratio > 1 {
 					time.Sleep(time.Duration(float64(dur) * (ratio - 1)))
@@ -348,22 +421,30 @@ func (r *Runtime) RunBatch(tasks []Task) BatchStats {
 	// Energy accounting from the shared power model: busy and
 	// work-search spin at the worker's level, post-dry spin at the
 	// out-of-work level the policy chose, the barrier-wait remainder
-	// as halted.
+	// as halted. When the modeled states overrun the measured wall
+	// (duty-cycle stretch rounding, timer overshoot) the overrun is
+	// accounted as an explicit residual — clipping it silently would
+	// hide search/dry double-counting from the energy identity.
 	pm := r.cfg.Machine.Power
 	energy := pm.Base * wall.Seconds()
-	var busyTot, spinTot, haltTot float64
+	workers := make([]WorkerSecs, n)
+	var busyTot, spinTot, haltTot, residTot float64
 	for w := 0; w < n; w++ {
 		level := r.levels[w]
 		busy := time.Duration(busyNS[w].Load()).Seconds()
 		search := time.Duration(idleNS[w].Load()).Seconds()
 		dry := time.Duration(spinNS[w].Load()).Seconds()
 		halt := wall.Seconds() - busy - search - dry
+		var residual float64
 		if halt < 0 {
+			residual = -halt
 			halt = 0
 		}
+		workers[w] = WorkerSecs{Busy: busy, Search: search, Dry: dry, Halt: halt, Residual: residual}
 		busyTot += busy
 		spinTot += search + dry
 		haltTot += halt
+		residTot += residual
 		// The live runtime has no package topology: use own-level
 		// voltage (PackageSize 1 semantics).
 		energy += busy * pm.CorePower(machine.Busy, level, level, r.ladder)
@@ -379,12 +460,14 @@ func (r *Runtime) RunBatch(tasks []Task) BatchStats {
 	r.ro.dvfs.Add(float64(dvfs.Load()))
 
 	bs := BatchStats{
-		Wall:   wall,
-		Tasks:  len(tasks),
-		Census: r.Census(),
-		Levels: append([]int(nil), r.levels...),
-		Steals: int(steals.Load()),
-		Energy: energy,
+		Wall:     wall,
+		Tasks:    len(tasks),
+		Census:   r.Census(),
+		Levels:   append([]int(nil), r.levels...),
+		Steals:   int(steals.Load()),
+		Energy:   energy,
+		Workers:  workers,
+		Residual: residTot,
 	}
 	r.stats.Batches++
 	r.stats.Tasks += len(tasks)
@@ -392,7 +475,30 @@ func (r *Runtime) RunBatch(tasks []Task) BatchStats {
 	r.stats.Energy += energy
 	r.stats.Steals += bs.Steals
 	r.ro.observeBatch(bs, busyTot, spinTot, haltTot, depths)
+	if r.inv {
+		r.record(check.TaskConservation(execCounts(execs)))
+		// Tolerance: the identity is exact by construction up to float
+		// rounding; the residual itself must stay negligible. Timer
+		// quantization bounds per-interval error at well under a
+		// millisecond per task, so a whole millisecond plus a small
+		// fraction of the wall is a conservative ceiling.
+		tol := 1e-3 + 0.01*wall.Seconds()
+		for w := range workers {
+			ws := workers[w]
+			r.record(check.EnergyIdentity(w, wall.Seconds(), ws.Busy, ws.Search, ws.Dry, ws.Halt, ws.Residual, tol))
+		}
+	}
 	return bs
+}
+
+// execCounts copies the atomic per-task execution counters into the
+// plain slice the invariant checker takes.
+func execCounts(execs []atomic.Int32) []int32 {
+	out := make([]int32, len(execs))
+	for i := range execs {
+		out[i] = execs[i].Load()
+	}
+	return out
 }
 
 // planBatch asks the policy for the batch's plan (under EEWA: the
@@ -412,6 +518,9 @@ func (r *Runtime) planBatch() {
 	if plan.Adjusted && r.ro.reg != nil {
 		r.ro.adjInv.Inc()
 		r.ro.adjHost.Add(plan.HostTime.Seconds())
+	}
+	if r.inv {
+		r.record(check.PlanFeasible(r.plan.Assignment, r.cfg.Workers, len(r.ladder)))
 	}
 	r.applyLevels()
 }

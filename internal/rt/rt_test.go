@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/machine"
+	"repro/internal/obs"
 )
 
 func testConfig(workers int, p Policy) Config {
@@ -267,5 +268,79 @@ func TestCilkDDownclocksWhenDry(t *testing.T) {
 	cilk, cilkd := run(PolicyCilk), run(PolicyCilkD)
 	if cilkd >= cilk {
 		t.Errorf("Cilk-D energy %.3f J not below Cilk %.3f J despite idle workers", cilkd, cilk)
+	}
+}
+
+func TestEnergyIdentityPerWorker(t *testing.T) {
+	// Satellite of the invariant harness: with Invariants on, every
+	// batch must decompose each worker's wall time exactly —
+	// Busy + Search + Dry + Halt − Residual = Wall — and a healthy
+	// runtime must record zero violations across all policies.
+	for _, p := range Policies() {
+		t.Run(p.String(), func(t *testing.T) {
+			cfg := testConfig(4, p)
+			cfg.Invariants = true
+			r, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var count atomic.Int64
+			for b := 0; b < 3; b++ {
+				bs := r.RunBatch(makeBatch(&count, 2, 10, 2*time.Millisecond, 200*time.Microsecond))
+				if len(bs.Workers) != 4 {
+					t.Fatalf("batch %d: %d worker decompositions, want 4", b, len(bs.Workers))
+				}
+				wall := bs.Wall.Seconds()
+				var resid float64
+				for w, ws := range bs.Workers {
+					got := ws.Busy + ws.Search + ws.Dry + ws.Halt - ws.Residual
+					if diff := got - wall; diff > 1e-9 || diff < -1e-9 {
+						t.Errorf("batch %d worker %d: identity off by %g s (busy %g search %g dry %g halt %g resid %g wall %g)",
+							b, w, diff, ws.Busy, ws.Search, ws.Dry, ws.Halt, ws.Residual, wall)
+					}
+					if ws.Residual < 0 {
+						t.Errorf("batch %d worker %d: negative residual %g", b, w, ws.Residual)
+					}
+					resid += ws.Residual
+				}
+				if diff := resid - bs.Residual; diff > 1e-12 || diff < -1e-12 {
+					t.Errorf("batch %d: summed residual %g != reported %g", b, resid, bs.Residual)
+				}
+			}
+			if vs := r.Violations(); len(vs) != 0 {
+				t.Errorf("healthy runtime recorded violations: %v", vs)
+			}
+		})
+	}
+}
+
+func TestResidualExportedToObs(t *testing.T) {
+	// The residual counter must exist in the registry and accumulate
+	// the per-batch residual sums (typically zero, but registered and
+	// exact either way).
+	reg := obs.NewRegistry()
+	cfg := testConfig(2, PolicyEEWA)
+	cfg.Obs = reg
+	cfg.Invariants = true
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var count atomic.Int64
+	var want float64
+	for b := 0; b < 2; b++ {
+		bs := r.RunBatch(makeBatch(&count, 1, 6, 1*time.Millisecond, 100*time.Microsecond))
+		want += bs.Residual
+	}
+	got := reg.Counter("eewa_rt_energy_residual_seconds_total", "").Value()
+	if diff := got - want; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("residual counter = %g, want %g", got, want)
+	}
+	if vs := r.Violations(); len(vs) != 0 {
+		t.Errorf("violations recorded: %v", vs)
+		if reg.CounterVec("eewa_rt_invariant_violations_total", "", "invariant").
+			With(vs[0].Invariant).Value() == 0 {
+			t.Error("violation recorded on runtime but not counted on metric")
+		}
 	}
 }

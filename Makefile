@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-check check check-long cover experiments examples obs-demo clean
+.PHONY: all build vet test race bench bench-check check check-long cover experiments examples obs-demo serve-demo clean
 
 all: build vet test
 
@@ -44,8 +44,8 @@ check:
 # build tag.
 check-long:
 	EEWA_STRESS_SECONDS=60 $(GO) test -race -count=2 -timeout 30m \
-		./internal/check/ ./internal/deque/ ./internal/policy/ ./internal/rt/
-	$(GO) test -tags eewa_check -race ./internal/rt/ ./internal/check/
+		./internal/check/ ./internal/deque/ ./internal/policy/ ./internal/rt/ ./internal/serve/
+	$(GO) test -tags eewa_check -race ./internal/rt/ ./internal/check/ ./internal/serve/
 
 cover:
 	$(GO) test -cover ./...
@@ -69,6 +69,13 @@ obs-demo:
 	$(GO) run ./cmd/eewa-sim -bench sha1 -policy eewa \
 		-metrics-out obs_metrics.prom -trace-out obs_trace.json -gantt
 
+# Serving demo: start eewa-serve, fire a burst of submissions that
+# overflows the admission bounds (showing 429/Retry-After
+# backpressure), drain gracefully and write a final metrics snapshot.
+serve-demo:
+	$(GO) run ./cmd/eewa-serve -demo -flush-ms 10 \
+		-queue-depth 24 -max-inflight 96 -metrics-out serve_metrics.prom
+
 # Reproduction artifacts referenced from EXPERIMENTS.md.
 artifacts:
 	$(GO) test ./... 2>&1 | tee test_output.txt
@@ -76,4 +83,4 @@ artifacts:
 
 clean:
 	$(GO) clean ./...
-	rm -f test_output.txt bench_output.txt obs_metrics.prom obs_trace.json
+	rm -f test_output.txt bench_output.txt obs_metrics.prom obs_trace.json serve_metrics.prom

@@ -1,0 +1,187 @@
+// Command eewa-serve runs the live runtime as a long-running,
+// backpressured job-submission service (internal/serve): HTTP/JSON
+// job submissions are batched into iterations and executed under any
+// of the four scheduling policies, with per-tenant bounded admission
+// queues, per-request deadlines, and graceful drain on SIGTERM.
+//
+// Usage:
+//
+//	eewa-serve -addr :8080 -workers 8 -policy eewa
+//	eewa-serve -policy eewa -profile-in profile.json   # §IV-D offline mode
+//	eewa-serve -demo                                   # self-driving burst, then drain
+//
+// Submit work:
+//
+//	curl -s localhost:8080/v1/jobs -d '{"func":"sha1","count":8,"size_bytes":65536}'
+//	curl -s localhost:8080/v1/stats
+//	curl -s localhost:8080/metrics | grep eewa_serve
+//
+// On SIGTERM (or SIGINT) the server stops admitting (503), finishes
+// every queued and in-flight batch, optionally writes a final metrics
+// snapshot, and exits 0.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/obs"
+	"repro/internal/policy"
+	"repro/internal/profile"
+	"repro/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("eewa-serve: ")
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 8, "runtime worker goroutines")
+	policyName := flag.String("policy", "eewa", "scheduling policy: cilk|cilk-d|wats|eewa")
+	profileIn := flag.String("profile-in", "", "offline workload profile (JSON, eewa only); EEWA configures before batch 1")
+	seed := flag.Uint64("seed", 1, "victim-selection seed")
+	maxBatch := flag.Int("max-batch", 64, "max tasks per iteration")
+	flushMS := flag.Int("flush-ms", 25, "batching interval in milliseconds")
+	queueDepth := flag.Int("queue-depth", 128, "per-tenant queued-task bound")
+	maxInflight := flag.Int("max-inflight", 512, "global in-flight task budget")
+	metricsOut := flag.String("metrics-out", "", "write a final Prometheus metrics snapshot here on drain")
+	drainSecs := flag.Int("drain-timeout", 60, "seconds to wait for the drain to finish")
+	demo := flag.Bool("demo", false, "drive a burst of submissions against the server, print the outcome, drain and exit")
+	flag.Parse()
+
+	known := false
+	for _, id := range policy.IDs() {
+		if *policyName == id {
+			known = true
+			break
+		}
+	}
+	if !known {
+		log.Fatalf("unknown policy %q (want one of %v)", *policyName, policy.IDs())
+	}
+
+	var offline *profile.Snapshot
+	if *profileIn != "" {
+		f, err := os.Open(*profileIn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		offline, err = profile.DecodeSnapshot(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	reg := obs.NewRegistry()
+	srv, err := serve.New(serve.Config{
+		Workers:     *workers,
+		Machine:     machine.Opteron16(),
+		Policy:      *policyName,
+		Offline:     offline,
+		Seed:        *seed,
+		MaxBatch:    *maxBatch,
+		FlushEvery:  time.Duration(*flushMS) * time.Millisecond,
+		QueueDepth:  *queueDepth,
+		MaxInFlight: *maxInflight,
+		Obs:         reg,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	if *demo {
+		hs.Addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", hs.Addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {
+			log.Fatal(err)
+		}
+	}()
+	base := "http://" + ln.Addr().String()
+	log.Printf("policy %s, %d workers, serving on %s", *policyName, *workers, base)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	if *demo {
+		runDemo(base)
+		stop() // fall through to the drain path, same as SIGTERM
+	} else {
+		<-ctx.Done()
+	}
+
+	log.Printf("draining: admission closed, flushing queued batches…")
+	dctx, cancel := context.WithTimeout(context.Background(), time.Duration(*drainSecs)*time.Second)
+	defer cancel()
+	if err := srv.Drain(dctx); err != nil {
+		log.Fatalf("drain did not finish: %v", err)
+	}
+	_ = hs.Close()
+	st := srv.Stats()
+	log.Printf("drained: %d jobs admitted, %d completed, %d rejected, %d timed out, %d batches, %d tasks",
+		st.Admitted, st.Completed, st.Rejected, st.Timeouts, st.Batches, st.Tasks)
+	if *metricsOut != "" {
+		var buf bytes.Buffer
+		if err := reg.WritePrometheus(&buf); err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*metricsOut, buf.Bytes(), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("metrics written to %s", *metricsOut)
+	}
+}
+
+// runDemo fires a burst big enough to overflow the default admission
+// bounds, showing the 429/Retry-After backpressure path alongside
+// successful completions.
+func runDemo(base string) {
+	const burst = 96
+	var ok, rejected, other atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body, _ := json.Marshal(map[string]any{
+				"tenant": fmt.Sprintf("t%d", i%4), "func": "sha1",
+				"count": 8, "size_bytes": 32 << 10, "seed": i,
+			})
+			resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+			if err != nil {
+				other.Add(1)
+				return
+			}
+			defer resp.Body.Close()
+			switch resp.StatusCode {
+			case 200:
+				ok.Add(1)
+			case 429:
+				rejected.Add(1)
+			default:
+				other.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	log.Printf("demo burst: %d jobs → %d completed, %d backpressured (429), %d other",
+		burst, ok.Load(), rejected.Load(), other.Load())
+}

@@ -41,8 +41,51 @@ func main() {
 	profileIn := flag.String("profile-in", "", "load an offline workload profile (JSON); EEWA configures before batch 1")
 	flag.Parse()
 
+	// Validate the selector flags up front against the canonical name
+	// sets, so a typo exits non-zero with the full list instead of
+	// half-running a matrix or silently simulating the wrong thing.
+	var policies []string
+	if *policyName == "all" {
+		policies = policy.IDs()
+	} else {
+		known := false
+		for _, id := range policy.IDs() {
+			if *policyName == id {
+				known = true
+				break
+			}
+		}
+		if !known {
+			log.Fatalf("unknown policy %q (want one of %v, or all)", *policyName, policy.IDs())
+		}
+		policies = []string{*policyName}
+	}
+
+	var benches []workloads.Benchmark
+	switch *benchName {
+	case "all":
+		benches = workloads.All()
+	case "membound":
+		benches = []workloads.Benchmark{workloads.MemoryBound()}
+	default:
+		b, err := workloads.ByName(*benchName)
+		if err != nil {
+			log.Fatalf("unknown benchmark %q (want one of %v, membound, or all)", *benchName, workloads.Names())
+		}
+		benches = []workloads.Benchmark{b}
+	}
+
 	var offline *profile.Snapshot
 	if *profileIn != "" {
+		// An offline profile only influences EEWA (paper §IV-D); with
+		// any other single policy the flag is a no-op the user almost
+		// certainly did not intend.
+		if *policyName != "all" && *policyName != policy.IDEEWA {
+			log.Fatalf("-profile-in only affects the %s policy, but -policy is %q", policy.IDEEWA, *policyName)
+		}
+		if *policyName == "all" {
+			log.Printf("note: -profile-in applies only to the %s runs of the matrix", policy.IDEEWA)
+		}
 		f, err := os.Open(*profileIn)
 		if err != nil {
 			log.Fatal(err)
@@ -52,26 +95,9 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-	}
-
-	var benches []workloads.Benchmark
-	if *benchName == "all" {
-		benches = workloads.All()
-	} else if *benchName == "membound" {
-		benches = []workloads.Benchmark{workloads.MemoryBound()}
-	} else {
-		b, err := workloads.ByName(*benchName)
-		if err != nil {
-			log.Fatal(err)
+		if err := offline.Validate(nil); err != nil {
+			log.Fatalf("rejecting %s: %v", *profileIn, err)
 		}
-		benches = []workloads.Benchmark{b}
-	}
-
-	var policies []string
-	if *policyName == "all" {
-		policies = policy.IDs()
-	} else {
-		policies = []string{*policyName}
 	}
 
 	// One registry accumulates across every run of the invocation, so

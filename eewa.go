@@ -38,6 +38,7 @@ import (
 	"repro/internal/policy"
 	"repro/internal/rt"
 	"repro/internal/sched"
+	"repro/internal/serve"
 	"repro/internal/task"
 	"repro/internal/trace"
 	"repro/internal/workloads"
@@ -80,6 +81,21 @@ type (
 	// and renders them as a Gantt chart, CSV or Perfetto-compatible
 	// trace-event JSON (internal/trace). Set it as Params.Recorder.
 	TraceRecorder = trace.Recorder
+	// ServeConfig configures the job-submission service (internal/serve):
+	// a backpressured HTTP front end that batches submissions into
+	// iterations and executes them on the live runtime.
+	ServeConfig = serve.Config
+	// JobServer is the long-running job-submission service. Mount
+	// (*JobServer).Handler on an http.Server and call Drain on SIGTERM.
+	JobServer = serve.Server
+	// JobRequest is one HTTP job submission (function, task count,
+	// payload size, optional deadline and workload hint).
+	JobRequest = serve.JobRequest
+	// JobResult is the synchronous response to a completed job.
+	JobResult = serve.JobResult
+	// ServeStats is a point-in-time snapshot of the service's admission
+	// and execution counters.
+	ServeStats = serve.Stats
 )
 
 // Policy names accepted by Simulate, NewPolicy and every CLI's -policy
@@ -214,6 +230,16 @@ const (
 // ParseLivePolicy resolves a canonical policy name (PolicyCilk …) to
 // the live runtime's selector.
 func ParseLivePolicy(name string) (rt.Policy, error) { return rt.ParsePolicy(name) }
+
+// NewServer builds the job-submission service: per-tenant bounded
+// admission queues with 429/Retry-After backpressure, interval
+// batching onto the live runtime, per-request deadlines and graceful
+// drain. See cmd/eewa-serve for the standalone binary.
+func NewServer(cfg ServeConfig) (*JobServer, error) { return serve.New(cfg) }
+
+// ServeFuncs returns the function names accepted by JobRequest.Func
+// (the Table II kernels runnable as service payloads).
+func ServeFuncs() []string { return serve.Funcs() }
 
 // NewMetrics builds an observability registry. Pass it as Params.Obs
 // (simulator) or LiveConfig.Obs (live runtime); export it with

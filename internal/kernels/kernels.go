@@ -22,16 +22,19 @@
 // workload mixes.
 package kernels
 
+import "sync/atomic"
+
 // Sink prevents dead-code elimination of benchmark payloads; the live
-// runtime accumulates digest bytes here-through.
-var Sink uint64
+// runtime accumulates digest bytes here-through. It is atomic because
+// payloads run concurrently on the runtime's workers.
+var Sink atomic.Uint64
 
 // KeepAlive folds b into Sink so the compiler cannot elide the
-// computation that produced it.
+// computation that produced it. Safe for concurrent use.
 func KeepAlive(b []byte) {
 	var acc uint64
 	for _, x := range b {
 		acc = acc*131 + uint64(x)
 	}
-	Sink += acc
+	Sink.Add(acc)
 }

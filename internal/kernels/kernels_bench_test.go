@@ -135,7 +135,7 @@ func BenchmarkCRC32(b *testing.B) {
 	data := benchCorpus(64 << 10)
 	b.SetBytes(int64(len(data)))
 	for i := 0; i < b.N; i++ {
-		Sink += uint64(CRC32(data))
+		Sink.Add(uint64(CRC32(data)))
 	}
 }
 

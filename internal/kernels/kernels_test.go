@@ -583,9 +583,9 @@ func TestDCTInverseIsIdentity(t *testing.T) {
 // --- package-level helpers ---------------------------------------------------------
 
 func TestKeepAlive(t *testing.T) {
-	before := Sink
+	before := Sink.Load()
 	KeepAlive([]byte{1, 2, 3})
-	if Sink == before {
+	if Sink.Load() == before {
 		t.Error("KeepAlive should fold into Sink")
 	}
 }

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"bytes"
 	"encoding/json"
 	"net"
 	"net/http"
@@ -18,21 +19,34 @@ import (
 // The handler is safe to serve while the registry is being written.
 func Handler(r *Registry) http.Handler {
 	mux := http.NewServeMux()
+	// Both exports render into a buffer first: a render error can then
+	// still become a 500 instead of a silently truncated 200 (once body
+	// bytes are on the wire the status is committed).
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		var buf bytes.Buffer
+		if err := r.WritePrometheus(&buf); err != nil {
+			http.Error(w, "rendering metrics: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		_ = r.WritePrometheus(w)
+		_, _ = w.Write(buf.Bytes())
 	})
 	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		snap := r.Snapshot()
 		if r != nil {
 			if ring, ok := r.Events.(*Ring); ok {
 				snap["events"] = ring.Events()
 			}
 		}
-		enc := json.NewEncoder(w)
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
 		enc.SetIndent("", "  ")
-		_ = enc.Encode(snap)
+		if err := enc.Encode(snap); err != nil {
+			http.Error(w, "encoding vars: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_, _ = w.Write(buf.Bytes())
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -75,3 +75,48 @@ func TestServe(t *testing.T) {
 		t.Error("server still reachable after stop")
 	}
 }
+
+// The exposition endpoints must declare their media types — Prometheus
+// scrapers key the parser off text/plain; version=0.0.4 — and render
+// into a buffer so an export error becomes a 500 rather than a
+// truncated 200.
+func TestHandlerContentTypes(t *testing.T) {
+	srv := httptest.NewServer(Handler(buildSample()))
+	defer srv.Close()
+
+	for path, want := range map[string]string{
+		"/metrics":    "text/plain; version=0.0.4; charset=utf-8",
+		"/debug/vars": "application/json; charset=utf-8",
+	} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s status = %d", path, resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != want {
+			t.Errorf("%s Content-Type = %q, want %q", path, ct, want)
+		}
+	}
+}
+
+// A nil registry is the documented no-op mode; the handler must still
+// serve well-formed (empty) responses, including the events path.
+func TestHandlerNilRegistry(t *testing.T) {
+	srv := httptest.NewServer(Handler(nil))
+	defer srv.Close()
+	for _, path := range []string{"/metrics", "/debug/vars"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s status = %d with nil registry", path, resp.StatusCode)
+		}
+	}
+}

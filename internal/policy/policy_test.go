@@ -256,3 +256,41 @@ func TestEEWAAdjustsFromProfile(t *testing.T) {
 			plan.Assignment.Groups[hg].Level, plan.Assignment.Groups[lg].Level)
 	}
 }
+
+// Regression: an offline snapshot whose classes carry MaxWork == 0 (a
+// hand-edited or field-dropping round trip) must never reach the
+// adjuster — Snapshot.Validate rejects it, and EEWA falls back to the
+// classic first batch instead of building a CC table whose
+// indivisibility bound is silently disabled.
+func TestEEWAOfflineRejectsZeroMaxWork(t *testing.T) {
+	cfg := machine.Opteron16()
+	good := &profile.Snapshot{
+		Freqs: []float64(cfg.Freqs),
+		T:     4e-3,
+		Classes: []profile.Class{
+			{Name: "heavy", Count: 8, AvgWork: 2e-3, MaxWork: 2e-3},
+			{Name: "light", Count: 64, AvgWork: 1e-4, MaxWork: 1e-4},
+		},
+	}
+	e := NewEEWA()
+	e.Offline = good
+	plan := e.BeginBatch(0, profile.New(cfg.Freqs), &Env{Cfg: cfg})
+	if !plan.Adjusted {
+		t.Fatal("valid offline snapshot should configure before batch 0")
+	}
+
+	bad := &profile.Snapshot{
+		Freqs: []float64(cfg.Freqs),
+		T:     good.T,
+		Classes: []profile.Class{
+			{Name: "heavy", Count: 8, AvgWork: 2e-3, MaxWork: 0},
+			{Name: "light", Count: 64, AvgWork: 1e-4, MaxWork: 1e-4},
+		},
+	}
+	e = NewEEWA()
+	e.Offline = bad
+	plan = e.BeginBatch(0, profile.New(cfg.Freqs), &Env{Cfg: cfg})
+	if plan.Adjusted || !plan.ScatterAll || !plan.RandomSteal {
+		t.Errorf("MaxWork=0 offline snapshot reached the adjuster: plan %+v", plan)
+	}
+}

@@ -258,8 +258,8 @@ func TestSnapshotValidateRejects(t *testing.T) {
 	}
 	unsorted := *snap
 	unsorted.Classes = []Class{
-		{Name: "x", Count: 1, AvgWork: 1},
-		{Name: "y", Count: 1, AvgWork: 2},
+		{Name: "x", Count: 1, AvgWork: 1, MaxWork: 1},
+		{Name: "y", Count: 1, AvgWork: 2, MaxWork: 2},
 	}
 	if err := unsorted.Validate(nil); err == nil {
 		t.Error("unsorted classes should be rejected")

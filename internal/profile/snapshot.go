@@ -54,6 +54,18 @@ func (s *Snapshot) Validate(ladder machine.FreqLadder) error {
 		if c.Count <= 0 || c.AvgWork <= 0 {
 			return fmt.Errorf("profile: snapshot class %d (%s) degenerate", i, c.Name)
 		}
+		// MaxWork bounds how far a class can be down-clocked before a
+		// single task overruns T (task indivisibility — see
+		// cctable.BuildGranular). A zero or missing MaxWork in a
+		// hand-edited or truncated snapshot would silently disable that
+		// bound; a MaxWork below AvgWork is arithmetically impossible
+		// for a max over the samples that produced the average.
+		if c.MaxWork <= 0 {
+			return fmt.Errorf("profile: snapshot class %d (%s) has non-positive max work %g", i, c.Name, c.MaxWork)
+		}
+		if c.MaxWork < c.AvgWork-1e-12 {
+			return fmt.Errorf("profile: snapshot class %d (%s) has max work %g below average %g", i, c.Name, c.MaxWork, c.AvgWork)
+		}
 		if i > 0 && c.AvgWork > s.Classes[i-1].AvgWork+1e-12 {
 			return fmt.Errorf("profile: snapshot classes not sorted at %d", i)
 		}

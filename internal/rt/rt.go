@@ -51,6 +51,14 @@ type Task struct {
 	Class string
 	// Run is the payload, executed exactly once.
 	Run func()
+	// Cancelled, when non-nil, is consulted once after the task is
+	// acquired and before Run: returning true skips the payload (the
+	// task still counts as acquired exactly once, so task conservation
+	// holds, and it is reported in BatchStats.Cancelled). This is the
+	// cancellation hook a submission layer uses to drop
+	// queued-but-unstarted work whose deadline expired after the batch
+	// was formed. It must be safe to call from the worker goroutine.
+	Cancelled func() bool
 }
 
 // Policy selects the scheduling discipline. The values mirror the
@@ -133,12 +141,26 @@ type Config struct {
 	// worker hot loop is untouched, and a nil registry costs nothing.
 	Obs *obs.Registry
 	// Invariants enables the internal/check batch invariants: task
-	// conservation (every spawned task executed exactly once), the
-	// per-worker energy identity, and plan feasibility. Violations are
-	// collected on the runtime (Violations) and counted on the
+	// conservation (every spawned task acquired exactly once — executed,
+	// or skipped through its Cancelled hook), the per-worker energy
+	// identity, and plan feasibility. Violations are collected on the
+	// runtime (Violations) and counted on the
 	// eewa_rt_invariant_violations_total metric. Building with
 	// -tags eewa_check forces this on for every runtime.
 	Invariants bool
+	// Hooks receives batch-lifecycle callbacks (both run on the
+	// RunBatch caller's goroutine). A zero Hooks is inert.
+	Hooks Hooks
+}
+
+// Hooks are the runtime's batch-lifecycle callbacks — the submission
+// hook surface a serving layer (internal/serve) builds on. BatchStart
+// fires after planning, immediately before workers launch; BatchEnd
+// fires after the barrier with the batch's statistics. Either field may
+// be nil. Empty batches fire neither.
+type Hooks struct {
+	BatchStart func(batch, tasks int)
+	BatchEnd   func(batch int, stats BatchStats)
 }
 
 // WorkerSecs is one worker's wall-time decomposition for a batch, in
@@ -176,6 +198,8 @@ type BatchStats struct {
 	Levels []int
 	// Steals counts non-local task acquisitions.
 	Steals int
+	// Cancelled counts tasks skipped through their Cancelled hook.
+	Cancelled int
 	// Energy is the modeled energy for the batch (joules).
 	Energy float64
 	// Workers is the per-worker wall-time decomposition the energy was
@@ -291,6 +315,10 @@ func (r *Runtime) RunBatch(tasks []Task) BatchStats {
 		return BatchStats{Census: r.Census()}
 	}
 	r.planBatch()
+	bi := r.batchIndex // stable across the increment below
+	if h := r.cfg.Hooks.BatchStart; h != nil {
+		h(bi, len(tasks))
+	}
 
 	n := r.cfg.Workers
 	u := r.asn.U()
@@ -332,9 +360,10 @@ func (r *Runtime) RunBatch(tasks []Task) BatchStats {
 
 	stealOrder := policy.NewStealOrder(&r.plan, n)
 	var (
-		steals atomic.Int64
-		dvfs   atomic.Int64
-		remain atomic.Int64
+		steals    atomic.Int64
+		cancelled atomic.Int64
+		dvfs      atomic.Int64
+		remain    atomic.Int64
 		busyNS = make([]atomic.Int64, n)
 		spinNS = make([]atomic.Int64, n) // out-of-work spin at idleLevels[w]
 		idleNS = make([]atomic.Int64, n) // work-search lead-in at levels[w]
@@ -388,12 +417,22 @@ func (r *Runtime) RunBatch(tasks []Task) BatchStats {
 					idleNS[id].Add(search)
 				}
 
-				t0 := time.Now()
-				t.Run()
-				dur := time.Since(t0)
 				if execs != nil {
 					execs[taskIdx[t]].Add(1)
 				}
+				// Acquired-but-cancelled: the submission layer withdrew
+				// the task (e.g. its deadline expired while it waited in
+				// a pool). It still counts as acquired exactly once.
+				if t.Cancelled != nil && t.Cancelled() {
+					cancelled.Add(1)
+					remain.Add(-1)
+					spinStart = time.Now()
+					continue
+				}
+
+				t0 := time.Now()
+				t.Run()
+				dur := time.Since(t0)
 				// Duty-cycle throttle: stretch to dur × F0/Flevel.
 				if ratio > 1 {
 					time.Sleep(time.Duration(float64(dur) * (ratio - 1)))
@@ -460,14 +499,15 @@ func (r *Runtime) RunBatch(tasks []Task) BatchStats {
 	r.ro.dvfs.Add(float64(dvfs.Load()))
 
 	bs := BatchStats{
-		Wall:     wall,
-		Tasks:    len(tasks),
-		Census:   r.Census(),
-		Levels:   append([]int(nil), r.levels...),
-		Steals:   int(steals.Load()),
-		Energy:   energy,
-		Workers:  workers,
-		Residual: residTot,
+		Wall:      wall,
+		Tasks:     len(tasks),
+		Census:    r.Census(),
+		Levels:    append([]int(nil), r.levels...),
+		Steals:    int(steals.Load()),
+		Cancelled: int(cancelled.Load()),
+		Energy:    energy,
+		Workers:   workers,
+		Residual:  residTot,
 	}
 	r.stats.Batches++
 	r.stats.Tasks += len(tasks)
@@ -487,6 +527,9 @@ func (r *Runtime) RunBatch(tasks []Task) BatchStats {
 			ws := workers[w]
 			r.record(check.EnergyIdentity(w, wall.Seconds(), ws.Busy, ws.Search, ws.Dry, ws.Halt, ws.Residual, tol))
 		}
+	}
+	if h := r.cfg.Hooks.BatchEnd; h != nil {
+		h(bi, bs)
 	}
 	return bs
 }

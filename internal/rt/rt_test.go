@@ -344,3 +344,74 @@ func TestResidualExportedToObs(t *testing.T) {
 		}
 	}
 }
+
+// A task whose Cancelled hook reports true must be acquired exactly
+// once but never run: conservation holds, the skip is visible in
+// BatchStats.Cancelled, and the rest of the batch is unaffected.
+func TestRunBatchCancelledTasksSkipPayload(t *testing.T) {
+	cfg := testConfig(4, PolicyCilk)
+	cfg.Invariants = true
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ran, skipped atomic.Int64
+	var tasks []Task
+	for i := 0; i < 32; i++ {
+		cancel := i%4 == 0
+		tasks = append(tasks, Task{
+			Class: "mix",
+			Run:   func() { ran.Add(1) },
+			Cancelled: func() bool {
+				if cancel {
+					skipped.Add(1)
+				}
+				return cancel
+			},
+		})
+	}
+	bs := rt.RunBatch(tasks)
+	if got := ran.Load(); got != 24 {
+		t.Errorf("ran %d payloads, want 24", got)
+	}
+	if bs.Cancelled != 8 {
+		t.Errorf("BatchStats.Cancelled = %d, want 8", bs.Cancelled)
+	}
+	if vs := rt.Violations(); len(vs) != 0 {
+		t.Errorf("invariant violations with cancellation: %v", vs)
+	}
+}
+
+// Hooks fire once per non-empty batch, on the caller's goroutine, with
+// a stable batch index and the same stats RunBatch returns.
+func TestRunBatchHooks(t *testing.T) {
+	cfg := testConfig(2, PolicyCilk)
+	type startRec struct{ batch, tasks int }
+	var starts []startRec
+	var ends []int
+	var endStats []BatchStats
+	cfg.Hooks = Hooks{
+		BatchStart: func(batch, tasks int) { starts = append(starts, startRec{batch, tasks}) },
+		BatchEnd:   func(batch int, stats BatchStats) { ends = append(ends, batch); endStats = append(endStats, stats) },
+	}
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n atomic.Int64
+	rt.RunBatch(makeBatch(&n, 1, 3, time.Millisecond, 100*time.Microsecond))
+	rt.RunBatch(nil) // empty: no hooks
+	bs := rt.RunBatch(makeBatch(&n, 1, 3, time.Millisecond, 100*time.Microsecond))
+	if len(starts) != 2 || len(ends) != 2 {
+		t.Fatalf("hooks fired %d/%d times, want 2/2", len(starts), len(ends))
+	}
+	if starts[0] != (startRec{0, 4}) || starts[1] != (startRec{1, 4}) {
+		t.Errorf("BatchStart records = %+v", starts)
+	}
+	if ends[0] != 0 || ends[1] != 1 {
+		t.Errorf("BatchEnd indices = %v", ends)
+	}
+	if endStats[1].Tasks != bs.Tasks || endStats[1].Wall != bs.Wall {
+		t.Errorf("BatchEnd stats diverge from RunBatch return")
+	}
+}

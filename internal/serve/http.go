@@ -1,0 +1,149 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// API:
+//
+//	POST /v1/jobs    — submit a job (JobRequest), blocks until it runs
+//	                   or its deadline expires; 200 JobResult,
+//	                   400 invalid, 429/503 + Retry-After backpressure,
+//	                   504 deadline
+//	GET  /v1/stats   — Stats snapshot (JSON)
+//	GET  /healthz    — 200 "ok", 503 "draining"
+//
+// When the server has a registry, the PR-1 observability endpoints
+// (/metrics, /debug/vars, /debug/pprof) are mounted on the same mux.
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error      string `json:"error"`
+	RetryAfter int    `json:"retry_after_s,omitempty"`
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/jobs", s.handleJobs)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	if s.cfg.Obs != nil {
+		oh := obs.Handler(s.cfg.Obs)
+		mux.Handle("/metrics", oh)
+		mux.Handle("/debug/", oh)
+	}
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // headers are committed; nothing left to surface
+}
+
+// retryAfterSeconds rounds the configured hint up to whole seconds, as
+// the Retry-After header requires.
+func (s *Server) retryAfterSeconds() int {
+	sec := int((s.cfg.RetryAfter + time.Second - 1) / time.Second)
+	if sec < 1 {
+		sec = 1
+	}
+	return sec
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST only"})
+		return
+	}
+	var req JobRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.so.rejected.With("invalid").Inc()
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "decoding job: " + err.Error()})
+		return
+	}
+	j, err := s.newJob(req)
+	if err != nil {
+		s.so.rejected.With("invalid").Inc()
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	if rej := s.admit(j); rej != nil {
+		s.mu.Lock()
+		s.stats.Rejected++
+		s.mu.Unlock()
+		s.so.rejected.With(rej.reason).Inc()
+		ra := s.retryAfterSeconds()
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", ra))
+		writeJSON(w, rej.status, errorBody{Error: rej.msg, RetryAfter: ra})
+		return
+	}
+
+	// The job is queued; wait for the batcher, the deadline, or the
+	// client hanging up — whichever comes first. On deadline/disconnect
+	// the job is cancelled: unstarted tasks are dropped at batch
+	// formation or withdrawn mid-batch via the runtime hook, and the
+	// batcher's eventual outcome goes to the buffered channel unheard.
+	var deadlineC <-chan time.Time
+	if !j.deadline.IsZero() {
+		timer := time.NewTimer(time.Until(j.deadline))
+		defer timer.Stop()
+		deadlineC = timer.C
+	}
+	select {
+	case o := <-j.done:
+		if o.status == 200 {
+			writeJSON(w, 200, o.res)
+			return
+		}
+		body := errorBody{Error: o.err}
+		if o.res != nil {
+			writeJSON(w, o.status, struct {
+				errorBody
+				Partial *JobResult `json:"partial,omitempty"`
+			}{body, o.res})
+			return
+		}
+		writeJSON(w, o.status, body)
+	case <-deadlineC:
+		// Respond now; the batcher still owns the job and will count
+		// the timeout exactly once when it processes (and drops) it.
+		j.cancelled.Store(true)
+		writeJSON(w, http.StatusGatewayTimeout, errorBody{Error: "deadline expired"})
+	case <-r.Context().Done():
+		j.cancelled.Store(true)
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "GET only"})
+		return
+	}
+	writeJSON(w, 200, s.Stats())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if draining {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte("draining\n"))
+		return
+	}
+	_, _ = w.Write([]byte("ok\n"))
+}

@@ -1,0 +1,196 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/kernels"
+	"repro/internal/rt"
+)
+
+// JobRequest is the wire format of POST /v1/jobs. A job is Count tasks
+// of the named kernel function over a deterministic corpus; the task
+// class seen by the profiler (and therefore by EEWA's CC table) is the
+// function name.
+type JobRequest struct {
+	// Tenant scopes the admission queue; empty means "default".
+	Tenant string `json:"tenant"`
+	// Func is the kernel to run — one of Funcs().
+	Func string `json:"func"`
+	// SizeBytes is the corpus size per task (default 4096, max 1 MiB).
+	SizeBytes int `json:"size_bytes"`
+	// Count is the number of tasks in the job (default 1; a job must
+	// fit in one batch, so Count ≤ the server's MaxBatch).
+	Count int `json:"count"`
+	// Seed makes the corpus deterministic (task i uses Seed+i).
+	Seed uint64 `json:"seed"`
+	// DeadlineMS, when > 0, bounds the job's total latency: if it
+	// expires while the job is queued the job is dropped unstarted
+	// (504); tasks not yet started when it expires mid-batch are
+	// withdrawn through the runtime's cancellation hook.
+	DeadlineMS int64 `json:"deadline_ms"`
+	// WorkHintS is an optional per-task workload hint in seconds at
+	// F0 (the paper's offline-profiling spirit): the batcher packs
+	// heavier-hinted jobs first. Zero is fine.
+	WorkHintS float64 `json:"work_hint_s"`
+}
+
+// JobResult is the success (and partial-timeout) response body.
+type JobResult struct {
+	Job      uint64  `json:"job"`
+	Tenant   string  `json:"tenant"`
+	Func     string  `json:"func"`
+	Tasks    int     `json:"tasks"`
+	TasksRun int     `json:"tasks_run"`
+	Batch    int     `json:"batch"`
+	QueueMS  float64 `json:"queue_ms"`
+	BatchMS  float64 `json:"batch_ms"`
+	EnergyJ  float64 `json:"energy_j"`
+	Steals   int     `json:"steals"`
+	Policy   string  `json:"policy"`
+}
+
+// outcome is what the batcher reports back to the waiting HTTP
+// handler.
+type outcome struct {
+	status int
+	err    string
+	res    *JobResult
+}
+
+// job is one admitted submission.
+type job struct {
+	id       uint64
+	tenant   string
+	req      JobRequest
+	tasks    []rt.Task
+	deadline time.Time // zero = none
+	enqueued time.Time
+	started  time.Time
+
+	ran       atomic.Int64 // payloads actually executed
+	cancelled atomic.Bool  // set by the handler on deadline/disconnect
+	done      chan outcome // buffered; exactly one send, by the batcher
+}
+
+func (j *job) expiredBy(now time.Time) bool {
+	return j.cancelled.Load() || (!j.deadline.IsZero() && now.After(j.deadline))
+}
+
+// finish delivers the batcher's outcome. The handler may have stopped
+// listening (its own deadline fired first); the buffered channel makes
+// the send unconditional and non-blocking.
+func (j *job) finish(o outcome) {
+	j.done <- o
+}
+
+// Funcs returns the servable kernel names.
+func Funcs() []string {
+	return []string{"sha1", "md5", "lzw", "bwc", "bzip2", "dmc", "je"}
+}
+
+// maxSizeBytes bounds the per-task corpus so a single request cannot
+// pin arbitrary memory.
+const maxSizeBytes = 1 << 20
+
+// payload builds the closure for one task of fn over a size-byte
+// corpus. Corpora are generated up front (at submission, off the
+// worker hot path) so the measured task time is the kernel itself.
+func payload(fn string, seed uint64, size int) (func(), error) {
+	switch fn {
+	case "sha1":
+		data := kernels.TextCorpus(seed, size)
+		return func() { d := kernels.SHA1(data); kernels.KeepAlive(d[:]) }, nil
+	case "md5":
+		data := kernels.TextCorpus(seed, size)
+		return func() { d := kernels.MD5(data); kernels.KeepAlive(d[:]) }, nil
+	case "lzw":
+		data := kernels.TextCorpus(seed, size)
+		return func() { kernels.KeepAlive(kernels.LZWCompress(data)) }, nil
+	case "bwc":
+		data := kernels.TextCorpus(seed, size)
+		return func() { kernels.KeepAlive(kernels.BWC(data)) }, nil
+	case "bzip2":
+		data := kernels.TextCorpus(seed, size)
+		return func() {
+			out, err := kernels.Bzip2Like(data, 16<<10)
+			if err == nil {
+				kernels.KeepAlive(out)
+			}
+		}, nil
+	case "dmc":
+		data := kernels.StructuredCorpus(seed, size)
+		return func() { kernels.KeepAlive(kernels.DMCCompress(data)) }, nil
+	case "je":
+		// Interpret size as pixel count; clamp to a sane square.
+		dim := int(math.Sqrt(float64(size)))
+		if dim < 16 {
+			dim = 16
+		}
+		if dim > 512 {
+			dim = 512
+		}
+		im := kernels.GradientImage(seed, dim, dim)
+		return func() {
+			out, err := kernels.EncodeJPEGish(im, 75)
+			if err == nil {
+				kernels.KeepAlive(out)
+			}
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown func %q (want one of %v)", fn, Funcs())
+	}
+}
+
+// newJob validates req and builds the job with its task closures. The
+// returned error is a client error (HTTP 400).
+func (s *Server) newJob(req JobRequest) (*job, error) {
+	if req.Tenant == "" {
+		req.Tenant = "default"
+	}
+	if req.SizeBytes == 0 {
+		req.SizeBytes = 4096
+	}
+	if req.SizeBytes < 0 || req.SizeBytes > maxSizeBytes {
+		return nil, fmt.Errorf("size_bytes %d outside (0, %d]", req.SizeBytes, maxSizeBytes)
+	}
+	if req.Count == 0 {
+		req.Count = 1
+	}
+	if req.Count < 0 || req.Count > s.cfg.MaxBatch {
+		return nil, fmt.Errorf("count %d outside (0, %d] (a job must fit in one batch)", req.Count, s.cfg.MaxBatch)
+	}
+	if req.Count > s.cfg.QueueDepth {
+		return nil, fmt.Errorf("count %d exceeds the tenant queue depth %d", req.Count, s.cfg.QueueDepth)
+	}
+	if req.DeadlineMS < 0 || req.WorkHintS < 0 {
+		return nil, fmt.Errorf("deadline_ms and work_hint_s must be non-negative")
+	}
+	j := &job{
+		id:     atomic.AddUint64(&s.jobSeq, 1),
+		tenant: req.Tenant,
+		req:    req,
+		done:   make(chan outcome, 1),
+	}
+	if req.DeadlineMS > 0 {
+		j.deadline = time.Now().Add(time.Duration(req.DeadlineMS) * time.Millisecond)
+	}
+	j.tasks = make([]rt.Task, 0, req.Count)
+	for i := 0; i < req.Count; i++ {
+		run, err := payload(req.Func, req.Seed+uint64(i), req.SizeBytes)
+		if err != nil {
+			return nil, err
+		}
+		j.tasks = append(j.tasks, rt.Task{
+			Class: req.Func,
+			Run:   func() { run(); j.ran.Add(1) },
+			// Withdraw the task if the handler cancelled the job or its
+			// deadline expired after the batch formed but before this
+			// task started.
+			Cancelled: func() bool { return j.expiredBy(time.Now()) },
+		})
+	}
+	return j, nil
+}

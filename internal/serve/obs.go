@@ -1,0 +1,54 @@
+package serve
+
+import "repro/internal/obs"
+
+// serveObs bundles the service's metric handles under the eewa_serve_*
+// namespace. Like the runtime's rtObs, every handle is nil when the
+// registry is nil and every method on a nil handle no-ops.
+type serveObs struct {
+	admitted  *obs.Counter
+	rejected  *obs.CounterVec // by reason
+	timeouts  *obs.Counter
+	completed *obs.Counter
+
+	queueDepth *obs.GaugeVec // by tenant: queued tasks
+	inflight   *obs.Gauge    // admitted-but-unfinished tasks
+
+	batches    *obs.Counter
+	batchSecs  *obs.Histogram
+	batchTasks *obs.Histogram
+	queueSecs  *obs.Histogram
+
+	tasksRun       *obs.Counter
+	tasksCancelled *obs.Counter
+}
+
+func newServeObs(reg *obs.Registry) serveObs {
+	return serveObs{
+		admitted: reg.Counter("eewa_serve_admitted_total",
+			"Jobs admitted into the batching queue."),
+		rejected: reg.CounterVec("eewa_serve_rejected_total",
+			"Jobs refused at admission, by reason (tenant_queue_full, inflight_budget, draining, invalid).",
+			"reason"),
+		timeouts: reg.Counter("eewa_serve_timeout_total",
+			"Jobs whose deadline expired before all tasks ran."),
+		completed: reg.Counter("eewa_serve_completed_total",
+			"Jobs that completed every task."),
+		queueDepth: reg.GaugeVec("eewa_serve_queue_depth",
+			"Queued (admitted, not yet batched) tasks per tenant.", "tenant"),
+		inflight: reg.Gauge("eewa_serve_inflight_tasks",
+			"Admitted tasks not yet finished (queued + running)."),
+		batches: reg.Counter("eewa_serve_batches_total",
+			"Iterations executed on the live runtime."),
+		batchSecs: reg.Histogram("eewa_serve_batch_seconds",
+			"Per-iteration wall-clock duration in seconds.", obs.ExpBuckets(1e-3, 2, 14)),
+		batchTasks: reg.Histogram("eewa_serve_batch_tasks",
+			"Tasks packed into each iteration.", obs.ExpBuckets(1, 2, 10)),
+		queueSecs: reg.Histogram("eewa_serve_queue_seconds",
+			"Per-job wait between admission and batch start, in seconds.", obs.ExpBuckets(1e-4, 2, 16)),
+		tasksRun: reg.Counter("eewa_serve_tasks_run_total",
+			"Task payloads executed."),
+		tasksCancelled: reg.Counter("eewa_serve_tasks_cancelled_total",
+			"Tasks withdrawn mid-batch through the cancellation hook."),
+	}
+}

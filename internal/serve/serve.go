@@ -1,0 +1,416 @@
+// Package serve turns the live runtime (internal/rt) into a
+// long-running, request-driven service: an HTTP/JSON front end that
+// accepts job submissions, batches them into iterations, and executes
+// them under any of the four policies of internal/policy.
+//
+// The paper's execution model is batch-synchronous: "programs launch
+// tasks in batches ... and wait for all tasks to complete before the
+// next batch". A serving workload arrives one request at a time, so
+// this package supplies the missing admission layer:
+//
+//   - per-tenant bounded queues — a tenant can hold at most
+//     Config.QueueDepth queued tasks; overflow is rejected immediately
+//     with HTTP 429 and a Retry-After hint (backpressure, never
+//     unbounded buffering);
+//   - a global in-flight budget (Config.MaxInFlight) across all
+//     tenants, bounding queued + running tasks and therefore memory;
+//   - an interval batcher: admitted jobs accumulate for
+//     Config.FlushEvery (or until Config.MaxBatch tasks are waiting,
+//     whichever is first) and then run as one rt.RunBatch iteration —
+//     exactly the batch boundary at which EEWA's frequency adjuster
+//     plans;
+//   - per-request deadlines: a job whose deadline passes while it is
+//     still queued is dropped at batch formation (never started), and
+//     tasks already placed into a batch are withdrawn through the
+//     runtime's Task.Cancelled hook;
+//   - graceful drain: Drain stops admission (503 for new submissions),
+//     flushes every queued job into final batches, waits for the
+//     barrier, and returns — no admitted task is lost or duplicated
+//     (the internal/check task-conservation invariant is enforceable
+//     via Config.Invariants).
+//
+// Everything observable is exported through internal/obs under the
+// eewa_serve_* namespace alongside the runtime's eewa_rt_* metrics, so
+// one scrape shows the queue and the machine it feeds.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/obs"
+	"repro/internal/policy"
+	"repro/internal/profile"
+	"repro/internal/rt"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Workers is the number of runtime worker goroutines ("cores").
+	Workers int
+	// Machine supplies the frequency ladder and power model (core count
+	// is overridden by Workers). The zero value defaults to
+	// machine.Opteron16().
+	Machine machine.Config
+	// Policy is the canonical scheduling-policy identifier
+	// (policy.IDs: cilk, cilk-d, wats, eewa). Empty defaults to eewa.
+	Policy string
+	// Offline, when non-nil, is an offline workload profile (paper
+	// §IV-D) handed to the EEWA policy so the first batch already runs
+	// downscaled. It is validated against the machine's ladder at New
+	// time; an invalid snapshot is a construction error, never a silent
+	// no-op.
+	Offline *profile.Snapshot
+	// Seed drives the runtime's victim selection.
+	Seed uint64
+
+	// MaxBatch is the most tasks packed into one iteration (default
+	// 64). A single job may not exceed it.
+	MaxBatch int
+	// FlushEvery is the batching interval (default 25ms): queued jobs
+	// wait at most this long before an iteration starts.
+	FlushEvery time.Duration
+	// QueueDepth is the per-tenant bound on queued tasks (default 128).
+	QueueDepth int
+	// MaxInFlight is the global bound on admitted-but-unfinished tasks
+	// across all tenants (default 512).
+	MaxInFlight int
+	// RetryAfter is the hint returned with 429/503 responses (default
+	// 1s, rounded up to whole seconds on the wire).
+	RetryAfter time.Duration
+
+	// Obs, when non-nil, receives the eewa_serve_* metrics and is also
+	// wired into the runtime (eewa_rt_*).
+	Obs *obs.Registry
+	// Invariants enables the runtime's internal/check batch invariants
+	// (task conservation, energy identity, plan feasibility).
+	Invariants bool
+}
+
+func (c *Config) setDefaults() {
+	if c.Policy == "" {
+		c.Policy = policy.IDEEWA
+	}
+	if c.Machine.Cores == 0 && c.Machine.Freqs == nil {
+		c.Machine = machine.Opteron16()
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.FlushEvery <= 0 {
+		c.FlushEvery = 25 * time.Millisecond
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 128
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 512
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+}
+
+// Stats is a point-in-time snapshot of the service counters, served at
+// /v1/stats.
+type Stats struct {
+	Policy    string `json:"policy"`
+	Workers   int    `json:"workers"`
+	Draining  bool   `json:"draining"`
+	Queued    int    `json:"queued_tasks"`
+	Inflight  int    `json:"inflight_tasks"`
+	Admitted  uint64 `json:"admitted_jobs"`
+	Completed uint64 `json:"completed_jobs"`
+	Rejected  uint64 `json:"rejected_jobs"`
+	Timeouts  uint64 `json:"timeout_jobs"`
+	Batches   uint64 `json:"batches"`
+	Tasks     uint64 `json:"tasks_run"`
+	Cancelled uint64 `json:"tasks_cancelled"`
+}
+
+// Server is the job-submission service. Build one with New, mount
+// Handler on an http.Server, and call Drain before exiting.
+type Server struct {
+	cfg Config
+	rt  *rt.Runtime
+
+	mu       sync.Mutex
+	pending  []*job
+	queued   map[string]int // tenant → queued task count
+	queuedN  int            // total queued tasks
+	inflight int            // queued + running tasks
+	draining bool
+	stats    Stats
+
+	wake    chan struct{}
+	drained chan struct{}
+
+	jobSeq uint64
+	so     serveObs
+}
+
+// New validates cfg, builds the runtime and starts the batcher.
+func New(cfg Config) (*Server, error) {
+	cfg.setDefaults()
+	mc := cfg.Machine
+	mc.Cores = cfg.Workers
+	if err := mc.Validate(); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	pol, err := policy.New(cfg.Policy, mc)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	if cfg.Offline != nil {
+		if cfg.Policy != policy.IDEEWA {
+			return nil, fmt.Errorf("serve: offline profile only applies to the %s policy, not %s", policy.IDEEWA, cfg.Policy)
+		}
+		// Reject a corrupt snapshot loudly at startup: the EEWA policy
+		// would otherwise quietly ignore it (or worse, pre-fix, build a
+		// CC table without the indivisibility bound).
+		if err := cfg.Offline.Validate(mc.Freqs); err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		pol.(*policy.EEWA).Offline = cfg.Offline
+	}
+	s := &Server{
+		cfg:     cfg,
+		queued:  map[string]int{},
+		wake:    make(chan struct{}, 1),
+		drained: make(chan struct{}),
+		so:      newServeObs(cfg.Obs),
+	}
+	rcfg := rt.Config{
+		Workers:    cfg.Workers,
+		Machine:    cfg.Machine,
+		Impl:       pol,
+		Seed:       cfg.Seed,
+		Obs:        cfg.Obs,
+		Invariants: cfg.Invariants,
+		Hooks: rt.Hooks{
+			BatchEnd: func(_ int, bs rt.BatchStats) {
+				s.so.batches.Inc()
+				s.so.batchSecs.Observe(bs.Wall.Seconds())
+				s.so.batchTasks.Observe(float64(bs.Tasks))
+			},
+		},
+	}
+	s.rt, err = rt.New(rcfg)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	s.stats.Policy = cfg.Policy
+	s.stats.Workers = cfg.Workers
+	go s.batcher()
+	return s, nil
+}
+
+// Runtime exposes the underlying live runtime (for Violations() and
+// Stats() in tests and diagnostics).
+func (s *Server) Runtime() *rt.Runtime { return s.rt }
+
+// Stats returns a snapshot of the service counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Queued = s.queuedN
+	st.Inflight = s.inflight
+	st.Draining = s.draining
+	return st
+}
+
+// rejection describes a refused submission.
+type rejection struct {
+	status int    // HTTP status (429 or 503)
+	reason string // metrics label
+	msg    string
+}
+
+// admit applies the admission policy to j: reject while draining,
+// reject when the tenant's queue or the global in-flight budget is
+// full, otherwise enqueue. Backpressure is immediate — nothing blocks.
+func (s *Server) admit(j *job) *rejection {
+	n := len(j.tasks)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case s.draining:
+		return &rejection{status: 503, reason: "draining",
+			msg: "server is draining, not admitting new jobs"}
+	case s.queued[j.tenant]+n > s.cfg.QueueDepth:
+		return &rejection{status: 429, reason: "tenant_queue_full",
+			msg: fmt.Sprintf("tenant %q queue full (%d/%d tasks)", j.tenant, s.queued[j.tenant], s.cfg.QueueDepth)}
+	case s.inflight+n > s.cfg.MaxInFlight:
+		return &rejection{status: 429, reason: "inflight_budget",
+			msg: fmt.Sprintf("in-flight budget full (%d/%d tasks)", s.inflight, s.cfg.MaxInFlight)}
+	}
+	j.enqueued = time.Now()
+	s.pending = append(s.pending, j)
+	s.queued[j.tenant] += n
+	s.queuedN += n
+	s.inflight += n
+	s.stats.Admitted++
+	s.so.admitted.Inc()
+	s.so.queueDepth.With(j.tenant).Set(float64(s.queued[j.tenant]))
+	s.so.inflight.Set(float64(s.inflight))
+	if s.queuedN >= s.cfg.MaxBatch {
+		s.wakeBatcher()
+	}
+	return nil
+}
+
+func (s *Server) wakeBatcher() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// batcher is the single goroutine that forms and executes iterations.
+// rt.Runtime is batch-structured and not concurrency-safe, so all
+// RunBatch calls happen here.
+func (s *Server) batcher() {
+	tick := time.NewTicker(s.cfg.FlushEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.wake:
+		case <-tick.C:
+		}
+		for s.flushOnce() {
+		}
+		s.mu.Lock()
+		done := s.draining && len(s.pending) == 0
+		s.mu.Unlock()
+		if done {
+			close(s.drained)
+			return
+		}
+	}
+}
+
+// flushOnce forms one batch from the head of the queue and runs it.
+// It reports whether any job left the queue (batched or expired), so
+// the batcher can loop until the backlog is gone.
+func (s *Server) flushOnce() bool {
+	now := time.Now()
+	var batch []*job
+	var expired []*job
+	tasks := 0
+
+	s.mu.Lock()
+	for len(s.pending) > 0 {
+		j := s.pending[0]
+		n := len(j.tasks)
+		if len(batch) > 0 && tasks+n > s.cfg.MaxBatch {
+			break
+		}
+		s.pending = s.pending[1:]
+		s.queued[j.tenant] -= n
+		s.queuedN -= n
+		s.so.queueDepth.With(j.tenant).Set(float64(s.queued[j.tenant]))
+		if j.expiredBy(now) {
+			// Deadline passed while queued: the job is dropped before
+			// any task starts.
+			s.inflight -= n
+			s.stats.Timeouts++
+			expired = append(expired, j)
+			continue
+		}
+		batch = append(batch, j)
+		tasks += n
+	}
+	s.so.inflight.Set(float64(s.inflight))
+	s.mu.Unlock()
+
+	for _, j := range expired {
+		s.so.timeouts.Inc()
+		j.finish(outcome{status: 504, err: "deadline expired while queued"})
+	}
+	if len(batch) == 0 {
+		return len(expired) > 0
+	}
+
+	// Workload-aware packing: heavier-hinted jobs first, so their
+	// classes are placed before the fine-grained filler (mirrors the
+	// descending-AvgWork order the CC table wants). Stable, so equal
+	// hints keep FIFO fairness.
+	sort.SliceStable(batch, func(i, k int) bool { return batch[i].req.WorkHintS > batch[k].req.WorkHintS })
+
+	all := make([]rt.Task, 0, tasks)
+	for _, j := range batch {
+		j.started = time.Now()
+		s.so.queueSecs.Observe(j.started.Sub(j.enqueued).Seconds())
+		all = append(all, j.tasks...)
+	}
+	bs := s.rt.RunBatch(all)
+	batchIdx := s.rt.Stats().Batches - 1
+
+	s.mu.Lock()
+	for _, j := range batch {
+		s.inflight -= len(j.tasks)
+	}
+	s.stats.Batches++
+	s.stats.Tasks += uint64(bs.Tasks - bs.Cancelled)
+	s.stats.Cancelled += uint64(bs.Cancelled)
+	s.so.inflight.Set(float64(s.inflight))
+	s.mu.Unlock()
+	s.so.tasksRun.Add(float64(bs.Tasks - bs.Cancelled))
+	s.so.tasksCancelled.Add(float64(bs.Cancelled))
+
+	for _, j := range batch {
+		ran := int(j.ran.Load())
+		res := JobResult{
+			Job:      j.id,
+			Tenant:   j.tenant,
+			Func:     j.req.Func,
+			Tasks:    len(j.tasks),
+			TasksRun: ran,
+			Batch:    batchIdx,
+			QueueMS:  j.started.Sub(j.enqueued).Seconds() * 1e3,
+			BatchMS:  bs.Wall.Seconds() * 1e3,
+			EnergyJ:  bs.Energy,
+			Steals:   bs.Steals,
+			Policy:   s.cfg.Policy,
+		}
+		if ran < len(j.tasks) {
+			// Some tasks were withdrawn mid-batch (deadline or client
+			// disconnect); report the job as timed out, with partials.
+			s.mu.Lock()
+			s.stats.Timeouts++
+			s.mu.Unlock()
+			s.so.timeouts.Inc()
+			j.finish(outcome{status: 504, err: "deadline expired mid-batch", res: &res})
+			continue
+		}
+		s.mu.Lock()
+		s.stats.Completed++
+		s.mu.Unlock()
+		s.so.completed.Inc()
+		j.finish(outcome{status: 200, res: &res})
+	}
+	return true
+}
+
+// Drain stops admission, flushes every queued job into final batches,
+// waits for the last barrier and stops the batcher. It is what the
+// SIGTERM path of cmd/eewa-serve calls; it is safe to call more than
+// once. The context bounds the wait — on expiry the batcher keeps
+// draining in the background, but Drain returns the context error.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.wakeBatcher()
+	select {
+	case <-s.drained:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,376 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/obs"
+	"repro/internal/profile"
+)
+
+func testServer(t *testing.T, mut func(*Config)) (*Server, *httptest.Server) {
+	t.Helper()
+	cfg := Config{
+		Workers: 4,
+		Machine: machine.Opteron16(),
+		Policy:  "eewa",
+		Seed:    7,
+		Obs:     obs.NewRegistry(),
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func submit(t *testing.T, url string, req JobRequest) (*http.Response, []byte) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(url+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp, out
+}
+
+func drain(t *testing.T, s *Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+func TestSubmitRunsJob(t *testing.T) {
+	s, ts := testServer(t, nil)
+	resp, body := submit(t, ts.URL, JobRequest{Func: "sha1", Count: 3, SizeBytes: 2048})
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var res JobResult
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Tasks != 3 || res.TasksRun != 3 || res.Policy != "eewa" || res.EnergyJ <= 0 {
+		t.Errorf("result %+v", res)
+	}
+	st := s.Stats()
+	if st.Admitted != 1 || st.Completed != 1 || st.Tasks != 3 {
+		t.Errorf("stats %+v", st)
+	}
+	drain(t, s)
+}
+
+// A burst that overflows the per-tenant queue must surface as 429s
+// with a Retry-After header and eewa_serve_rejected_total increments —
+// and every job that WAS admitted still completes.
+func TestBackpressureBurst(t *testing.T) {
+	reg := obs.NewRegistry()
+	s, ts := testServer(t, func(c *Config) {
+		c.Obs = reg
+		c.QueueDepth = 8
+		c.MaxInFlight = 16
+		c.FlushEvery = 50 * time.Millisecond
+	})
+
+	const burst = 48
+	var ok, rejected, retryAfterMissing atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, body := submit(t, ts.URL, JobRequest{Func: "md5", Count: 2, SizeBytes: 512, Seed: uint64(i)})
+			switch resp.StatusCode {
+			case 200:
+				ok.Add(1)
+			case 429:
+				rejected.Add(1)
+				if resp.Header.Get("Retry-After") == "" {
+					retryAfterMissing.Add(1)
+				}
+				var eb errorBody
+				if err := json.Unmarshal(body, &eb); err != nil || eb.RetryAfter < 1 {
+					t.Errorf("429 body %s", body)
+				}
+			default:
+				t.Errorf("unexpected status %d: %s", resp.StatusCode, body)
+			}
+		}(i)
+	}
+	wg.Wait()
+	drain(t, s)
+
+	if rejected.Load() == 0 {
+		t.Error("burst never overflowed the queue (no 429s) — backpressure untested")
+	}
+	if retryAfterMissing.Load() != 0 {
+		t.Errorf("%d rejections lacked Retry-After", retryAfterMissing.Load())
+	}
+	if ok.Load() == 0 {
+		t.Error("every job was rejected — admission never succeeded")
+	}
+	st := s.Stats()
+	if st.Admitted != uint64(ok.Load()) || st.Rejected != uint64(rejected.Load()) {
+		t.Errorf("stats %+v vs ok=%d rejected=%d", st, ok.Load(), rejected.Load())
+	}
+	if st.Tasks != 2*uint64(ok.Load()) {
+		t.Errorf("tasks_run = %d, want %d (zero lost/duplicated)", st.Tasks, 2*ok.Load())
+	}
+	// The metric must agree with the HTTP-observed rejections.
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `eewa_serve_rejected_total{reason="tenant_queue_full"}`) &&
+		!strings.Contains(buf.String(), `eewa_serve_rejected_total{reason="inflight_budget"}`) {
+		t.Errorf("rejected_total not exported:\n%s", buf.String())
+	}
+}
+
+// Drain mid-batch: every admitted job completes exactly once (task
+// conservation, enforced by the internal/check invariants on the
+// runtime), late submissions get 503, and the batcher goroutine exits.
+func TestDrainMidBatchConservesTasks(t *testing.T) {
+	before := runtime.NumGoroutine()
+	s, ts := testServer(t, func(c *Config) {
+		c.Invariants = true
+		c.FlushEvery = 5 * time.Millisecond
+		c.MaxInFlight = 4096
+		c.QueueDepth = 4096
+	})
+
+	var ok, late atomic.Int64
+	var tasksOK atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				resp, body := submit(t, ts.URL, JobRequest{
+					Tenant: fmt.Sprintf("t%d", g%3), Func: "sha1", Count: 4,
+					SizeBytes: 16 << 10, Seed: uint64(g*100 + i),
+				})
+				switch resp.StatusCode {
+				case 200:
+					ok.Add(1)
+					var res JobResult
+					if err := json.Unmarshal(body, &res); err != nil {
+						t.Error(err)
+						continue
+					}
+					if res.TasksRun != res.Tasks {
+						t.Errorf("drained job lost tasks: %+v", res)
+					}
+					tasksOK.Add(int64(res.Tasks))
+				case 503:
+					late.Add(1)
+				default:
+					t.Errorf("status %d: %s", resp.StatusCode, body)
+				}
+			}
+		}(g)
+	}
+	// Drain once work is genuinely in flight (polling beats a fixed
+	// sleep under -race, where everything runs slower).
+	waitUntil := time.Now().Add(10 * time.Second)
+	for time.Now().Before(waitUntil) && s.Stats().Admitted < 8 {
+		time.Sleep(2 * time.Millisecond)
+	}
+	drain(t, s)
+	wg.Wait()
+
+	if ok.Load() == 0 {
+		t.Fatal("no job completed before the drain")
+	}
+	if late.Load() == 0 {
+		t.Log("note: drain landed after the last submission (no 503s observed)")
+	}
+	st := s.Stats()
+	if st.Completed != uint64(ok.Load()) || st.Tasks != uint64(tasksOK.Load()) {
+		t.Errorf("stats %+v vs ok=%d tasksOK=%d — lost or duplicated work", st, ok.Load(), tasksOK.Load())
+	}
+	if vs := s.Runtime().Violations(); len(vs) != 0 {
+		t.Errorf("runtime invariant violations across drain: %v", vs)
+	}
+
+	// A second drain is a no-op, and after the HTTP server closes no
+	// service goroutines may linger.
+	drain(t, s)
+	ts.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Errorf("goroutines: %d before, %d after drain+close", before, runtime.NumGoroutine())
+}
+
+// A deadline that expires while the job is still queued must cancel it
+// before any task starts: 504, eewa_serve_timeout_total, zero payloads.
+func TestDeadlineExpiresWhileQueued(t *testing.T) {
+	s, ts := testServer(t, func(c *Config) {
+		c.FlushEvery = 400 * time.Millisecond // batcher holds the job past its deadline
+	})
+	start := time.Now()
+	resp, body := submit(t, ts.URL, JobRequest{Func: "lzw", Count: 2, DeadlineMS: 30})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if el := time.Since(start); el > 300*time.Millisecond {
+		t.Errorf("504 took %v — deadline did not cancel the queued job", el)
+	}
+	drain(t, s)
+	st := s.Stats()
+	if st.Tasks != 0 {
+		t.Errorf("cancelled job still ran %d tasks", st.Tasks)
+	}
+	if st.Timeouts == 0 {
+		t.Error("timeout not counted")
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	s, ts := testServer(t, nil)
+	cases := []JobRequest{
+		{Func: "nope"},
+		{Func: "sha1", Count: 100000},
+		{Func: "sha1", SizeBytes: maxSizeBytes + 1},
+		{Func: "sha1", DeadlineMS: -1},
+	}
+	for _, req := range cases {
+		resp, body := submit(t, ts.URL, req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%+v → status %d: %s", req, resp.StatusCode, body)
+		}
+	}
+	// Unknown fields are rejected too (strict API).
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"func":"sha1","bogus":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field → status %d", resp.StatusCode)
+	}
+	drain(t, s)
+}
+
+func TestHealthzFlipsOnDrain(t *testing.T) {
+	s, ts := testServer(t, nil)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("healthz = %d before drain", resp.StatusCode)
+	}
+	drain(t, s)
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("healthz = %d after drain", resp.StatusCode)
+	}
+	// And submissions now bounce with 503 + Retry-After.
+	resp2, body := submit(t, ts.URL, JobRequest{Func: "sha1"})
+	if resp2.StatusCode != http.StatusServiceUnavailable || resp2.Header.Get("Retry-After") == "" {
+		t.Errorf("post-drain submit: status %d, Retry-After %q, body %s",
+			resp2.StatusCode, resp2.Header.Get("Retry-After"), body)
+	}
+}
+
+// The offline-profile ingestion fix, end to end: a MaxWork=0 snapshot
+// must fail server construction instead of silently configuring EEWA.
+func TestNewRejectsCorruptOfflineSnapshot(t *testing.T) {
+	mc := machine.Opteron16()
+	bad := &profile.Snapshot{
+		Freqs: []float64(mc.Freqs),
+		T:     0.01,
+		Classes: []profile.Class{
+			{Name: "sha1", Count: 8, AvgWork: 1e-3, MaxWork: 0},
+		},
+	}
+	_, err := New(Config{Workers: 4, Machine: mc, Policy: "eewa", Offline: bad})
+	if err == nil {
+		t.Fatal("corrupt offline snapshot accepted")
+	}
+	if !strings.Contains(err.Error(), "max work") {
+		t.Errorf("error should blame max work: %v", err)
+	}
+
+	good := &profile.Snapshot{
+		Freqs: []float64(mc.Freqs),
+		T:     0.01,
+		Classes: []profile.Class{
+			{Name: "sha1", Count: 8, AvgWork: 1e-3, MaxWork: 1.2e-3},
+		},
+	}
+	s, err := New(Config{Workers: 4, Machine: mc, Policy: "eewa", Offline: good})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain(t, s)
+
+	// And a non-EEWA policy with an offline profile is a loud error,
+	// not a silent no-op.
+	if _, err := New(Config{Workers: 4, Machine: mc, Policy: "cilk", Offline: good}); err == nil {
+		t.Error("offline profile with cilk should be rejected")
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	s, ts := testServer(t, nil)
+	submit(t, ts.URL, JobRequest{Func: "dmc", SizeBytes: 1024})
+	resp, body := func() (*http.Response, []byte) {
+		resp, err := http.Get(ts.URL + "/v1/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp, out
+	}()
+	if resp.StatusCode != 200 {
+		t.Fatalf("stats status %d", resp.StatusCode)
+	}
+	var st Stats
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Policy != "eewa" || st.Workers != 4 || st.Admitted != 1 {
+		t.Errorf("stats %+v", st)
+	}
+	drain(t, s)
+}

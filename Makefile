@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-check check check-long cover experiments examples obs-demo serve-demo clean
+.PHONY: all build vet test race bench bench-check sweep sweep-parity check check-long cover experiments examples obs-demo serve-demo clean
 
 all: build vet test
 
@@ -29,6 +29,20 @@ bench:
 # CI variant: compare against the committed baseline, never rewrite.
 bench-check:
 	$(GO) run ./cmd/eewa-benchjson -check-only
+
+# Design-space sweep across all cores (-j 0 = GOMAXPROCS).
+sweep:
+	$(GO) run ./cmd/eewa-sweep -j 0 -csv sweep.csv -json sweep_cells.json
+
+# Determinism gate for the parallel sweep driver: the same small grid
+# run sequentially and with maximal fan-out must produce byte-identical
+# CSVs (per-cell wall-clock lives only in the JSON output).
+sweep-parity:
+	$(GO) run ./cmd/eewa-sweep -j 1 -bench md5,lzw -cores 8,16 -seeds 2 -csv sweep_j1.csv
+	$(GO) run ./cmd/eewa-sweep -j 0 -bench md5,lzw -cores 8,16 -seeds 2 -csv sweep_jN.csv
+	cmp sweep_j1.csv sweep_jN.csv
+	rm -f sweep_j1.csv sweep_jN.csv
+	@echo "sweep parity OK: -j 1 and -j GOMAXPROCS byte-identical"
 
 # Concurrency-correctness harness, tier-1 budget: the deque model
 # checker (with its mutant self-test), the short stress mode and the
@@ -84,3 +98,4 @@ artifacts:
 clean:
 	$(GO) clean ./...
 	rm -f test_output.txt bench_output.txt obs_metrics.prom obs_trace.json serve_metrics.prom
+	rm -f sweep.csv sweep_cells.json sweep_j1.csv sweep_jN.csv

@@ -25,6 +25,7 @@ import (
 	"log"
 	"math"
 	"os"
+	"runtime"
 	"sort"
 	"time"
 
@@ -44,6 +45,16 @@ type PolicyRecord struct {
 	// throughput relative to cilk measured in the *same* repetition —
 	// the machine-independent number the regression check gates on.
 	NormThroughput float64 `json:"norm_throughput"`
+	// HostNSPerRep lists every repetition's host duration (HostNS is
+	// their minimum) — the per-cell wall-clock record the allocation
+	// diet is judged against.
+	HostNSPerRep []int64 `json:"host_ns_per_rep"`
+	// AllocsPerTask and BytesPerTask are the median per-repetition heap
+	// allocation counts and bytes divided by tasks simulated, from
+	// runtime.MemStats deltas around the rep. Informational: host-noise
+	// sensitive, so the regression gate does not fire on them.
+	AllocsPerTask float64 `json:"allocs_per_task"`
+	BytesPerTask  float64 `json:"bytes_per_task"`
 }
 
 // Record is the whole benchmark file.
@@ -124,6 +135,7 @@ func measure(benchName string, cores, seeds, reps int) (*Record, error) {
 		makespan, energy float64
 		tasks            int
 		durs             []time.Duration
+		allocs, bytes    []float64 // per task, one sample per rep
 	}
 	accs := map[string]*acc{}
 	for _, name := range policy.IDs() {
@@ -139,6 +151,8 @@ func measure(benchName string, cores, seeds, reps int) (*Record, error) {
 			a := accs[name]
 			var repMakespan, repEnergy float64
 			repTasks := 0
+			var m0, m1 runtime.MemStats
+			runtime.ReadMemStats(&m0)
 			start := time.Now()
 			for _, b := range benches {
 				for s := 1; s <= seeds; s++ {
@@ -156,8 +170,12 @@ func measure(benchName string, cores, seeds, reps int) (*Record, error) {
 					repTasks += w.TotalTasks()
 				}
 			}
-			if host := time.Since(start); rep >= 0 {
+			host := time.Since(start)
+			runtime.ReadMemStats(&m1)
+			if rep >= 0 {
 				a.durs = append(a.durs, host)
+				a.allocs = append(a.allocs, float64(m1.Mallocs-m0.Mallocs)/float64(repTasks))
+				a.bytes = append(a.bytes, float64(m1.TotalAlloc-m0.TotalAlloc)/float64(repTasks))
 			}
 			a.makespan, a.energy, a.tasks = repMakespan, repEnergy, repTasks
 		}
@@ -174,12 +192,19 @@ func measure(benchName string, cores, seeds, reps int) (*Record, error) {
 			// throughput ratio is the inverse duration ratio.
 			ratios[i] = cilkDurs[i].Seconds() / d.Seconds()
 		}
+		perRep := make([]int64, len(a.durs))
+		for i, d := range a.durs {
+			perRep[i] = d.Nanoseconds()
+		}
 		rec.Policies[name] = PolicyRecord{
 			MakespanS:      a.makespan / float64(seeds),
 			EnergyJ:        a.energy / float64(seeds),
 			HostNS:         best.Nanoseconds(),
 			TasksPerSec:    float64(a.tasks) / best.Seconds(),
 			NormThroughput: median(ratios),
+			HostNSPerRep:   perRep,
+			AllocsPerTask:  median(a.allocs),
+			BytesPerTask:   median(a.bytes),
 		}
 	}
 	return rec, nil

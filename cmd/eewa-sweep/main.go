@@ -6,6 +6,12 @@
 //	eewa-sweep                                   # full default grid
 //	eewa-sweep -bench sha1,md5 -cores 4,8,16,32 -policies cilk,eewa
 //	eewa-sweep -csv out.csv -seeds 5
+//	eewa-sweep -j 8 -json cells.json             # 8-way fan-out, per-cell JSON
+//
+// Cells are sharded across -j worker goroutines (default GOMAXPROCS);
+// every worker count produces byte-identical results — per-cell RNG
+// streams are derived from the cell's identity, never shared — so -j
+// only changes wall-clock time, which -json reports per cell.
 package main
 
 import (
@@ -26,6 +32,8 @@ func main() {
 	cores := flag.String("cores", "", "comma-separated core counts (default: 16)")
 	nseeds := flag.Int("seeds", 3, "number of seeds per cell")
 	csvPath := flag.String("csv", "", "write CSV to this file instead of a table to stdout")
+	jsonPath := flag.String("json", "", "write per-cell JSON (with host wall time) to this file")
+	workers := flag.Int("j", 0, "cells simulated concurrently (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	grid := sweep.Grid{}
@@ -48,9 +56,23 @@ func main() {
 		grid.Seeds = append(grid.Seeds, uint64(i+1))
 	}
 
-	records, err := sweep.Run(grid)
+	cells, err := sweep.RunCells(grid, *workers)
 	if err != nil {
 		log.Fatal(err)
+	}
+	records := sweep.Aggregate(cells)
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sweep.WriteCellsJSON(f, cells); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %d cells to %s", len(cells), *jsonPath)
 	}
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)

@@ -1,0 +1,160 @@
+package cctable
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/profile"
+)
+
+func cacheClasses() []profile.Class {
+	return []profile.Class{
+		{Name: "heavy", Count: 4, AvgWork: 2.0, MaxWork: 2.2},
+		{Name: "light", Count: 16, AvgWork: 0.5, MaxWork: 0.6},
+	}
+}
+
+func cacheLadder() machine.FreqLadder { return machine.FreqLadder{2.4, 1.8, 1.2} }
+
+func buildTable(t *testing.T, classes []profile.Class, T float64) *Table {
+	t.Helper()
+	tab, err := BuildGranular(classes, cacheLadder(), T, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestCacheHitSkipsSearchAndMatches(t *testing.T) {
+	c := NewCache(0)
+	tab := buildTable(t, cacheClasses(), 4)
+	want, wantOK, hit := c.SearchTuple(tab, 16)
+	if hit {
+		t.Fatal("first lookup must miss")
+	}
+	if tab.LastSearchSteps == 0 {
+		t.Fatal("a real search must report its Select attempts")
+	}
+	realSteps := tab.LastSearchSteps
+
+	// Same profile in a freshly built table: must hit, return the same
+	// tuple, and report zero steps for this call.
+	tab2 := buildTable(t, cacheClasses(), 4)
+	got, gotOK, hit := c.SearchTuple(tab2, 16)
+	if !hit {
+		t.Fatal("identical profile must hit the cache")
+	}
+	if gotOK != wantOK || len(got) != len(want) {
+		t.Fatalf("cached result (%v, %v) != searched (%v, %v)", got, gotOK, want, wantOK)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cached tuple %v != searched %v", got, want)
+		}
+	}
+	if tab2.LastSearchSteps != 0 {
+		t.Errorf("memoized path must report LastSearchSteps = 0, got %d", tab2.LastSearchSteps)
+	}
+	if c.Hits != 1 || c.Misses != 1 {
+		t.Errorf("hits/misses = %d/%d, want 1/1", c.Hits, c.Misses)
+	}
+	if c.StepsTotal != uint64(realSteps) {
+		t.Errorf("StepsTotal = %d, want %d (only real searches accumulate)", c.StepsTotal, realSteps)
+	}
+}
+
+func TestCacheReturnsFreshTuple(t *testing.T) {
+	c := NewCache(0)
+	tab := buildTable(t, cacheClasses(), 4)
+	first, _, _ := c.SearchTuple(tab, 16)
+	first[0] = 99 // caller mutates its copy
+	second, _, hit := c.SearchTuple(buildTable(t, cacheClasses(), 4), 16)
+	if !hit {
+		t.Fatal("want a hit")
+	}
+	if second[0] == 99 {
+		t.Error("cache must not alias the tuple it hands out")
+	}
+}
+
+func TestCacheKeySensitivity(t *testing.T) {
+	c := NewCache(0)
+	base := cacheClasses()
+	if _, _, hit := c.SearchTuple(buildTable(t, base, 4), 16); hit {
+		t.Fatal("first lookup must miss")
+	}
+
+	cases := []struct {
+		name string
+		tab  *Table
+		m    int
+	}{
+		{"weight changed", buildTable(t, []profile.Class{
+			{Name: "heavy", Count: 4, AvgWork: 2.5, MaxWork: 2.7},
+			{Name: "light", Count: 16, AvgWork: 0.5, MaxWork: 0.6},
+		}, 4), 16},
+		{"count changed", buildTable(t, []profile.Class{
+			{Name: "heavy", Count: 5, AvgWork: 2.0, MaxWork: 2.2},
+			{Name: "light", Count: 16, AvgWork: 0.5, MaxWork: 0.6},
+		}, 4), 16},
+		{"class renamed", buildTable(t, []profile.Class{
+			{Name: "heavier", Count: 4, AvgWork: 2.0, MaxWork: 2.2},
+			{Name: "light", Count: 16, AvgWork: 0.5, MaxWork: 0.6},
+		}, 4), 16},
+		{"T changed", buildTable(t, base, 5), 16},
+		{"m changed", buildTable(t, base, 4), 12},
+	}
+	for _, tc := range cases {
+		if _, _, hit := c.SearchTuple(tc.tab, tc.m); hit {
+			t.Errorf("%s: lookup hit despite a different search input", tc.name)
+		}
+	}
+	if c.Misses != uint64(1+len(cases)) {
+		t.Errorf("misses = %d, want %d", c.Misses, 1+len(cases))
+	}
+}
+
+func TestCacheMemoizesInfeasible(t *testing.T) {
+	c := NewCache(0)
+	// One core cannot fit the heavy class within T at any level.
+	classes := []profile.Class{{Name: "huge", Count: 8, AvgWork: 10, MaxWork: 10}}
+	tab, err := BuildGranular(classes, cacheLadder(), 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ok, _ := c.SearchTuple(tab, 1)
+	if ok {
+		t.Fatal("expected an infeasible instance")
+	}
+	tab2, _ := BuildGranular(classes, cacheLadder(), 1, 1)
+	_, ok, hit := c.SearchTuple(tab2, 1)
+	if !hit || ok {
+		t.Errorf("infeasible outcome must memoize (hit=%v ok=%v)", hit, ok)
+	}
+}
+
+func TestCacheBound(t *testing.T) {
+	c := NewCache(4)
+	for i := 0; i < 40; i++ {
+		classes := []profile.Class{{Name: "c", Count: i + 1, AvgWork: 1, MaxWork: 1}}
+		tab, err := BuildGranular(classes, cacheLadder(), 4, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.SearchTuple(tab, 16)
+		if c.Len() > 4 {
+			t.Fatalf("cache grew to %d entries past its bound", c.Len())
+		}
+	}
+}
+
+func TestFingerprintStable(t *testing.T) {
+	a := buildTable(t, cacheClasses(), 4)
+	b := buildTable(t, cacheClasses(), 4)
+	if a.Fingerprint(16) != b.Fingerprint(16) {
+		t.Error("identical inputs must fingerprint identically")
+	}
+	if a.Fingerprint(16) == a.Fingerprint(15) {
+		t.Error("core budget must be part of the fingerprint")
+	}
+}

@@ -74,7 +74,9 @@ type Table struct {
 	T float64
 	// LastSearchSteps is the number of Select attempts the most recent
 	// SearchTuple call performed — the backtracking effort reported to
-	// the observability layer.
+	// the observability layer. A memoized lookup through a Cache sets
+	// it to 0 (no Select attempts ran); the cumulative count across
+	// real searches lives on Cache.StepsTotal.
 	LastSearchSteps int
 }
 

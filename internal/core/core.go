@@ -54,9 +54,24 @@ type Adjuster struct {
 	// fast).
 	Infeasible int
 	// LastSteps is the Select-attempt count of the most recent tuple
-	// search (0 for search functions that do not report it), surfaced
-	// as the adjuster's backtracking-depth metric.
+	// search (0 for search functions that do not report it, and 0 when
+	// the plan cache served the result without searching), surfaced as
+	// the adjuster's backtracking-depth metric.
 	LastSteps int
+	// TotalSteps accumulates LastSteps across every adjustment — the
+	// cumulative backtracking effort, which stays truthful when
+	// individual memoized decisions report 0.
+	TotalSteps uint64
+	// Cache memoizes tuple-search results keyed by the CC table's
+	// fingerprint (class set + weights + T + core budget), so batches
+	// whose profile did not change skip the backtracking search
+	// entirely. NewAdjuster installs one; set to nil to disable.
+	// Overriding Search bypasses it (the ablation searches measure
+	// their own cost).
+	Cache *cctable.Cache
+	// LastCacheHit reports whether the most recent adjustment was
+	// served from Cache without running the search.
+	LastCacheHit bool
 	// HostTime accumulates the measured wall time spent deciding —
 	// the quantity Table III reports.
 	HostTime time.Duration
@@ -71,11 +86,22 @@ func NewAdjuster(ladder machine.FreqLadder, cores int) (*Adjuster, error) {
 	if cores <= 0 {
 		return nil, fmt.Errorf("core: need at least one core, got %d", cores)
 	}
-	return &Adjuster{
+	a := &Adjuster{
 		ladder: ladder,
 		cores:  cores,
-		Search: func(t *cctable.Table, m int) ([]int, bool) { return t.SearchTuple(m) },
-	}, nil
+		Cache:  cctable.NewCache(0),
+	}
+	// The default search consults the plan cache; a profile fingerprint
+	// already searched reuses its tuple and reports LastSearchSteps = 0.
+	a.Search = func(t *cctable.Table, m int) ([]int, bool) {
+		if a.Cache == nil {
+			return t.SearchTuple(m)
+		}
+		tuple, ok, hit := a.Cache.SearchTuple(t, m)
+		a.LastCacheHit = hit
+		return tuple, ok
+	}
+	return a, nil
 }
 
 // AllFast returns the degenerate everyone-at-F0 assignment the
@@ -92,6 +118,7 @@ func (a *Adjuster) AllFast() *cgroup.Assignment {
 // to all-fast — because the classes were empty, T was unusable, or no
 // tuple fit the core budget.
 func (a *Adjuster) Adjust(classes []profile.Class, T float64) (*cgroup.Assignment, bool) {
+	a.LastCacheHit = false
 	if len(classes) == 0 || T <= 0 {
 		return a.AllFast(), false
 	}
@@ -112,6 +139,7 @@ func (a *Adjuster) Adjust(classes []profile.Class, T float64) (*cgroup.Assignmen
 	a.LastTable = tab
 	a.LastTuple = tuple
 	a.LastSteps = tab.LastSearchSteps
+	a.TotalSteps += uint64(a.LastSteps)
 	if !ok {
 		a.Infeasible++
 		return a.AllFast(), false
@@ -166,6 +194,7 @@ func (a *Adjuster) CalLevel() int { return len(a.ladder) / 2 }
 // frequency-response fit needs the raw per-level times that Eq. 1
 // normalization would destroy.
 func (a *Adjuster) AdjustMemAware(p *profile.Profiler, T float64) (*cgroup.Assignment, MemDecision) {
+	a.LastCacheHit = false
 	classes := p.Classes()
 	if len(classes) == 0 || T <= 0 {
 		return a.AllFast(), MemFallback
@@ -196,6 +225,7 @@ func (a *Adjuster) AdjustMemAware(p *profile.Profiler, T float64) (*cgroup.Assig
 	a.LastTable = tab
 	a.LastTuple = tuple
 	a.LastSteps = tab.LastSearchSteps
+	a.TotalSteps += uint64(a.LastSteps)
 	if !ok {
 		a.Infeasible++
 		return a.AllFast(), MemFallback

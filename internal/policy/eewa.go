@@ -106,7 +106,7 @@ func (e *EEWA) BeginBatch(bi int, prof *profile.Profiler, env *Env) Plan {
 			asn, ok := e.adj.Adjust(e.Offline.Classes, e.Offline.T)
 			host := e.adj.HostTime - hostBefore
 			if ok {
-				return Plan{Assignment: asn, Overhead: env.AdjusterCharge, HostTime: host, SearchSteps: e.adj.LastSteps, Adjusted: true}
+				return Plan{Assignment: asn, Overhead: env.AdjusterCharge, HostTime: host, SearchSteps: e.adj.LastSteps, Adjusted: true, CacheHit: e.adj.LastCacheHit}
 			}
 		}
 		// No workload information yet: all cores at the highest
@@ -137,11 +137,12 @@ func (e *EEWA) BeginBatch(bi int, prof *profile.Profiler, env *Env) Plan {
 				ScatterAll:  true,
 			}
 		case core.MemOK:
-			return Plan{Assignment: asn, Overhead: env.AdjusterCharge, HostTime: host, SearchSteps: e.adj.LastSteps, Adjusted: true}
+			return Plan{Assignment: asn, Overhead: env.AdjusterCharge, HostTime: host, SearchSteps: e.adj.LastSteps, Adjusted: true, CacheHit: e.adj.LastCacheHit}
 		default:
 			classic.Overhead = env.AdjusterCharge
 			classic.HostTime = host
 			classic.Adjusted = true
+			classic.CacheHit = e.adj.LastCacheHit
 			return classic
 		}
 	}
@@ -160,6 +161,7 @@ func (e *EEWA) BeginBatch(bi int, prof *profile.Profiler, env *Env) Plan {
 		classic.Overhead = env.AdjusterCharge
 		classic.HostTime = host
 		classic.Adjusted = true
+		classic.CacheHit = e.adj.LastCacheHit
 		return classic
 	}
 	return Plan{
@@ -168,6 +170,7 @@ func (e *EEWA) BeginBatch(bi int, prof *profile.Profiler, env *Env) Plan {
 		HostTime:    host,
 		SearchSteps: e.adj.LastSteps,
 		Adjusted:    true,
+		CacheHit:    e.adj.LastCacheHit,
 	}
 }
 

@@ -113,6 +113,11 @@ type Plan struct {
 	// (used by the engines' adjuster-invocation metrics; Overhead may
 	// legitimately be zero in the live runtime).
 	Adjusted bool
+	// CacheHit reports that the adjuster served this plan from its
+	// memoized tuple-search cache instead of re-running the
+	// backtracking search (meaningful only when Adjusted is true; the
+	// engines count it on eewa_plan_cache_{hits,misses}_total).
+	CacheHit bool
 	// RandomSteal selects classic Cilk victim selection: each core
 	// uses only its own-group pool and probes every other core's
 	// own-group pool in random order, ignoring c-group structure.
@@ -219,10 +224,54 @@ func NewStealOrder(plan *Plan, cores int) *StealOrder {
 // group in a fresh random permutation per group — exactly the paper's
 // §III-B search, and byte-identical RNG consumption to the historical
 // engines so simulations stay reproducible across the refactor.
+//
+// Each call allocates one scratch permutation. Hot paths (the engines'
+// acquire loops, which run ForEachVictim once per failed local pop)
+// should instead hold a per-core Walker and reuse its buffer.
 func (s *StealOrder) ForEachVictim(self int, rng *xrand.RNG, probe func(victim, group int) bool) bool {
+	w := VictimWalker{so: s, self: self, perm: make([]int, s.cores)}
+	return w.ForEachVictim(rng, probe)
+}
+
+// VictimWalker is a per-core victim iterator bound to a StealOrder. It
+// owns a reusable permutation buffer, so walking the victim order
+// allocates nothing — the engines cache one walker per core and rebind
+// it at each plan epoch (the plan, and with it the steal order, can
+// only change at a batch boundary). A walker must only be used by its
+// core's worker; distinct walkers over the same StealOrder are safe
+// concurrently.
+//
+// RNG consumption is byte-identical to StealOrder.ForEachVictim
+// (xrand.PermInto draws exactly as Perm does), so cached walkers
+// reproduce the historical engines' schedules bit for bit.
+type VictimWalker struct {
+	so   *StealOrder
+	self int
+	perm []int
+}
+
+// Walker returns a victim walker for core self over this steal order.
+func (s *StealOrder) Walker(self int) *VictimWalker {
+	return &VictimWalker{so: s, self: self, perm: make([]int, s.cores)}
+}
+
+// Bind rebinds the walker to a new plan epoch's steal order, reusing
+// the permutation buffer when the core count is unchanged.
+func (w *VictimWalker) Bind(so *StealOrder) {
+	w.so = so
+	if len(w.perm) != so.cores {
+		w.perm = make([]int, so.cores)
+	}
+}
+
+// ForEachVictim walks the victim order exactly as
+// StealOrder.ForEachVictim does, reusing the walker's buffer.
+func (w *VictimWalker) ForEachVictim(rng *xrand.RNG, probe func(victim, group int) bool) bool {
+	s := w.so
 	if s.random {
-		for _, v := range rng.Perm(s.cores) {
-			if v == self {
+		rng.PermInto(w.perm)
+		for _, v := range w.perm {
+			if v == w.self {
 				continue
 			}
 			if probe(v, s.coreGroup[v]) {
@@ -231,10 +280,11 @@ func (s *StealOrder) ForEachVictim(self int, rng *xrand.RNG, probe func(victim, 
 		}
 		return false
 	}
-	myG := s.coreGroup[self]
+	myG := s.coreGroup[w.self]
 	for _, g := range s.prefs[myG] {
-		for _, v := range rng.Perm(s.cores) {
-			if v == self && g == myG {
+		rng.PermInto(w.perm)
+		for _, v := range w.perm {
+			if v == w.self && g == myG {
 				continue // the owner's local pool, already popped
 			}
 			if probe(v, g) {

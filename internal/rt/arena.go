@@ -1,0 +1,56 @@
+package rt
+
+import "sync"
+
+// TaskArena recycles the []Task slabs a submission layer builds each
+// batch. Batch formation is the live runtime's steadiest allocation
+// source — every flush materializes a fresh slice of Task structs whose
+// closures die at the barrier — so callers that run many batches (the
+// serve layer, the benchmark drivers) lease the slab instead:
+//
+//	buf := arena.Get(n)          // len 0, cap ≥ n
+//	buf = append(buf, rt.Task{...})
+//	stats := rt.RunBatch(buf)
+//	arena.Put(buf)               // after batch outcomes are delivered
+//
+// Put zeroes the used prefix so the pooled slab drops its payload
+// closures (and whatever they captured) immediately rather than at the
+// arena's whim. A slab must not be Put while the batch that used it is
+// still running: RunBatch takes *Task pointers into it.
+//
+// The zero TaskArena is ready to use and safe for concurrent Get/Put
+// (sync.Pool caches slabs per-P underneath).
+type TaskArena struct {
+	pool sync.Pool // holds *[]Task
+}
+
+// arenaMinCap avoids pooling toy slabs that would be re-grown by the
+// first real batch.
+const arenaMinCap = 64
+
+// Get leases a zero-length slab with capacity at least n.
+func (a *TaskArena) Get(n int) []Task {
+	if v := a.pool.Get(); v != nil {
+		s := *(v.(*[]Task))
+		if cap(s) >= n {
+			return s[:0]
+		}
+		// Too small for this batch: let it go rather than pooling two
+		// sizes — steady-state batch sizes converge quickly.
+	}
+	if n < arenaMinCap {
+		n = arenaMinCap
+	}
+	return make([]Task, 0, n)
+}
+
+// Put returns a slab leased by Get, zeroing the elements the caller
+// appended so the pool does not pin their closures. The caller must not
+// touch s afterwards.
+func (a *TaskArena) Put(s []Task) {
+	for i := range s {
+		s[i] = Task{}
+	}
+	s = s[:0]
+	a.pool.Put(&s)
+}

@@ -1,0 +1,92 @@
+package rt
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// TestArenaBatches drives the runtime for several batches whose slabs
+// all come from one TaskArena, with the internal/check invariants on:
+// task conservation must hold even though every batch's Task structs
+// live in recycled memory. CI runs this under -race.
+func TestArenaBatches(t *testing.T) {
+	rt, err := New(Config{
+		Workers:    4,
+		Machine:    machine.Generic(4),
+		Policy:     PolicyEEWA,
+		Seed:       7,
+		Invariants: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var arena TaskArena
+	var ran atomic.Int64
+	const batches, per = 6, 40
+	for b := 0; b < batches; b++ {
+		buf := arena.Get(per)
+		if len(buf) != 0 || cap(buf) < per {
+			t.Fatalf("Get(%d): len %d cap %d", per, len(buf), cap(buf))
+		}
+		for i := 0; i < per; i++ {
+			class := "even"
+			if i%2 == 1 {
+				class = "odd"
+			}
+			buf = append(buf, Task{Class: class, Run: func() {
+				ran.Add(1)
+				spinWork(200 + 400*(ran.Load()%3))
+			}})
+		}
+		stats := rt.RunBatch(buf)
+		if stats.Tasks != per {
+			t.Fatalf("batch %d: ran %d tasks, want %d", b, stats.Tasks, per)
+		}
+		arena.Put(buf)
+	}
+	if got := ran.Load(); got != batches*per {
+		t.Fatalf("payloads ran %d times, want %d", got, batches*per)
+	}
+	if vs := rt.Violations(); len(vs) != 0 {
+		t.Fatalf("invariant violations with arena-backed batches: %v", vs)
+	}
+}
+
+// TestArenaPutDropsPayloads checks Put zeroes the used prefix so pooled
+// slabs do not pin task closures.
+func TestArenaPutDropsPayloads(t *testing.T) {
+	var arena TaskArena
+	buf := arena.Get(8)
+	buf = append(buf, Task{Class: "x", Run: func() {}, Cancelled: func() bool { return false }})
+	full := buf[:cap(buf)]
+	arena.Put(buf)
+	if full[0].Run != nil || full[0].Cancelled != nil || full[0].Class != "" {
+		t.Fatal("Put left a payload reference in the slab")
+	}
+}
+
+// TestArenaGrows checks a lease larger than any pooled slab still
+// honours the capacity contract.
+func TestArenaGrows(t *testing.T) {
+	var arena TaskArena
+	arena.Put(arena.Get(1))
+	big := arena.Get(4 * arenaMinCap)
+	if cap(big) < 4*arenaMinCap {
+		t.Fatalf("cap %d < requested %d", cap(big), 4*arenaMinCap)
+	}
+}
+
+// spinWork burns roughly n loop iterations of CPU so payloads have
+// non-zero measurable duration without timers.
+func spinWork(n int64) {
+	x := uint64(n)
+	for i := int64(0); i < n*50; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+	}
+	sink.Store(x)
+}
+
+var sink atomic.Uint64

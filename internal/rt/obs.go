@@ -34,6 +34,8 @@ type rtObs struct {
 
 	adjInv     *obs.Counter
 	adjHost    *obs.Counter
+	planHits   *obs.Counter
+	planMisses *obs.Counter
 	violations *obs.CounterVec
 }
 
@@ -65,6 +67,10 @@ func newRTObs(reg *obs.Registry, levels int) rtObs {
 			"Invocations of the workload-aware frequency adjuster."),
 		adjHost: reg.Counter("eewa_rt_adjuster_host_seconds_total",
 			"Host wall time spent inside the frequency adjuster."),
+		planHits: reg.Counter("eewa_plan_cache_hits_total",
+			"Adjusted plans served from the memoized tuple-search cache."),
+		planMisses: reg.Counter("eewa_plan_cache_misses_total",
+			"Adjusted plans that ran the backtracking tuple search."),
 	}
 	if reg != nil {
 		censusVec := reg.GaugeVec("eewa_rt_census_workers",

@@ -230,6 +230,12 @@ type Runtime struct {
 	asn    *cgroup.Assignment
 	levels []int // per-worker frequency level for the current batch
 
+	// pools[worker][group] — reused across batches while the worker
+	// count and the plan's group count u hold (a completed batch drains
+	// every deque, so only a shape change forces a rebuild). RunBatch is
+	// single-caller, so no synchronization is needed between batches.
+	pools [][]*deque.Chase[*Task]
+
 	batchIndex int
 	idealTime  time.Duration
 
@@ -322,13 +328,16 @@ func (r *Runtime) RunBatch(tasks []Task) BatchStats {
 
 	n := r.cfg.Workers
 	u := r.asn.U()
-	pools := make([][]*deque.Chase[*Task], n)
-	for w := 0; w < n; w++ {
-		pools[w] = make([]*deque.Chase[*Task], u)
-		for g := 0; g < u; g++ {
-			pools[w][g] = deque.NewChase[*Task]()
+	if len(r.pools) != n || len(r.pools[0]) != u {
+		r.pools = make([][]*deque.Chase[*Task], n)
+		for w := 0; w < n; w++ {
+			r.pools[w] = make([]*deque.Chase[*Task], u)
+			for g := 0; g < u; g++ {
+				r.pools[w][g] = deque.NewChase[*Task]()
+			}
 		}
 	}
+	pools := r.pools
 
 	// Placement per the plan's discipline (scatter or by class over
 	// each class's reserved placement cores) — shared with the sim.
@@ -561,6 +570,11 @@ func (r *Runtime) planBatch() {
 	if plan.Adjusted && r.ro.reg != nil {
 		r.ro.adjInv.Inc()
 		r.ro.adjHost.Add(plan.HostTime.Seconds())
+		if plan.CacheHit {
+			r.ro.planHits.Inc()
+		} else {
+			r.ro.planMisses.Inc()
+		}
 	}
 	if r.inv {
 		r.record(check.PlanFeasible(r.plan.Assignment, r.cfg.Workers, len(r.ladder)))

@@ -36,6 +36,8 @@ type engineObs struct {
 	adjInv        *obs.Counter
 	adjOverhead   *obs.Counter
 	adjHost       *obs.Counter
+	planHits      *obs.Counter
+	planMisses    *obs.Counter
 	searchSteps   *obs.Histogram
 	makespan      *obs.Gauge
 	runs          *obs.Counter
@@ -61,6 +63,8 @@ func newEngineObs(reg *obs.Registry, levels int) engineObs {
 		adjInv:       reg.Counter("eewa_sim_adjuster_invocations_total", "Batches that charged a frequency-adjuster decision."),
 		adjOverhead:  reg.Counter("eewa_sim_adjuster_overhead_seconds_total", "Simulated adjuster charge."),
 		adjHost:      reg.Counter("eewa_sim_adjuster_host_seconds_total", "Measured host time of adjuster decisions."),
+		planHits:     reg.Counter("eewa_plan_cache_hits_total", "Adjusted plans served from the memoized tuple-search cache."),
+		planMisses:   reg.Counter("eewa_plan_cache_misses_total", "Adjusted plans that ran the backtracking tuple search."),
 		searchSteps:  reg.Histogram("eewa_sim_adjuster_search_steps", "Select attempts per Algorithm 1 tuple search.", obs.ExpBuckets(1, 2, 11)),
 		makespan:     reg.Gauge("eewa_sim_makespan_seconds", "Makespan of the most recent run."),
 		runs:         reg.Counter("eewa_sim_runs_total", "Completed simulation runs."),
@@ -78,10 +82,11 @@ func newEngineObs(reg *obs.Registry, levels int) engineObs {
 }
 
 // engine executes one workload under one policy. Task pools are
-// deque.Locked instances — the same Deque implementation the deque
-// property tests cover — owner-LIFO / thief-FIFO, matching the live
-// runtime's Chase–Lev semantics; the event loop is single-threaded, so
-// the mutex is uncontended and determinism is preserved.
+// deque.Ring instances — unsynchronized rings with the same
+// owner-LIFO / thief-FIFO semantics as the live runtime's Chase–Lev
+// deques (the deque property tests pin Ring to the Locked oracle); the
+// event loop is single-threaded, so per-operation synchronization
+// would buy nothing, and determinism is preserved.
 type engine struct {
 	cfg    machine.Config
 	m      *machine.Machine
@@ -90,11 +95,18 @@ type engine struct {
 	policy Policy
 	params Params
 
-	// pools[core][group] — recreated per batch (u may change).
+	// pools[core][group] — reused across batches while the plan's group
+	// count u is stable (each batch drains them completely), rebuilt
+	// when u changes.
 	pools [][]deque.Deque[*task.Task]
 	asn   *cgroup.Assignment
 	plan  Plan
 	steal *policy.StealOrder
+	// walkers[core] — the per-core victim iterators, rebound to the new
+	// steal order at each plan epoch so the acquire loop re-derives
+	// neither the preference lists nor a fresh permutation buffer per
+	// attempt.
+	walkers []*policy.VictimWalker
 
 	victimRNG []*xrand.RNG // per-core victim selection streams
 
@@ -195,6 +207,16 @@ func (e *engine) runBatch(bi int, b *task.Batch, env *Env) error {
 	e.plan = plan
 	e.asn = plan.Assignment
 	e.steal = policy.NewStealOrder(&e.plan, e.cfg.Cores)
+	if e.walkers == nil {
+		e.walkers = make([]*policy.VictimWalker, e.cfg.Cores)
+		for c := range e.walkers {
+			e.walkers[c] = e.steal.Walker(c)
+		}
+	} else {
+		for c := range e.walkers {
+			e.walkers[c].Bind(e.steal)
+		}
+	}
 	e.res.AdjusterSimTime += plan.Overhead
 	e.res.AdjusterHostTime += plan.HostTime
 
@@ -288,6 +310,13 @@ func (e *engine) observeBatch(bi int, dur float64, census []int, plan Plan) {
 		e.eo.adjHost.Add(plan.HostTime.Seconds())
 		e.eo.searchSteps.Observe(float64(plan.SearchSteps))
 	}
+	if plan.Adjusted {
+		if plan.CacheHit {
+			e.eo.planHits.Inc()
+		} else {
+			e.eo.planMisses.Inc()
+		}
+	}
 	if e.eo.reg.HasEvents() {
 		e.eo.reg.Emit(obs.Event{
 			Time: e.lastCompletion, Name: "batch", Core: -1,
@@ -307,11 +336,16 @@ func (e *engine) observeBatch(bi int, dur float64, census []int, plan Plan) {
 // placement discipline (policy.Placer — shared with the live runtime).
 func (e *engine) place(b *task.Batch) {
 	m, u := e.cfg.Cores, e.asn.U()
-	e.pools = make([][]deque.Deque[*task.Task], m)
-	for c := range e.pools {
-		e.pools[c] = make([]deque.Deque[*task.Task], u)
-		for g := range e.pools[c] {
-			e.pools[c][g] = deque.NewLocked[*task.Task]()
+	// A completed batch drains every pool (runBatch errors otherwise),
+	// so the rings can be reused as-is while the group count holds —
+	// only a plan with a different u forces a rebuild.
+	if len(e.pools) != m || len(e.pools[0]) != u {
+		e.pools = make([][]deque.Deque[*task.Task], m)
+		for c := range e.pools {
+			e.pools[c] = make([]deque.Deque[*task.Task], u)
+			for g := range e.pools[c] {
+				e.pools[c][g] = deque.NewRing[*task.Task]()
+			}
 		}
 	}
 	pl := policy.NewPlacer(&e.plan, m)
@@ -393,7 +427,7 @@ func (e *engine) acquire(c int) (*task.Task, int, bool, int) {
 
 	var got *task.Task
 	victimG := -1
-	e.steal.ForEachVictim(c, e.victimRNG[c], func(v, g int) bool {
+	e.walkers[c].ForEachVictim(e.victimRNG[c], func(v, g int) bool {
 		probes++
 		if counted {
 			e.eo.stealAttempts[g].Inc()

@@ -151,6 +151,11 @@ type Server struct {
 
 	jobSeq uint64
 	so     serveObs
+
+	// arena recycles the per-batch []rt.Task slab across flushes; only
+	// the batcher goroutine leases from it, and the slab is returned
+	// once the batch's outcomes have been delivered.
+	arena rt.TaskArena
 }
 
 // New validates cfg, builds the runtime and starts the batcher.
@@ -342,7 +347,7 @@ func (s *Server) flushOnce() bool {
 	// hints keep FIFO fairness.
 	sort.SliceStable(batch, func(i, k int) bool { return batch[i].req.WorkHintS > batch[k].req.WorkHintS })
 
-	all := make([]rt.Task, 0, tasks)
+	all := s.arena.Get(tasks)
 	for _, j := range batch {
 		j.started = time.Now()
 		s.so.queueSecs.Observe(j.started.Sub(j.enqueued).Seconds())
@@ -394,6 +399,7 @@ func (s *Server) flushOnce() bool {
 		s.so.completed.Inc()
 		j.finish(outcome{status: 200, res: &res})
 	}
+	s.arena.Put(all)
 	return true
 }
 

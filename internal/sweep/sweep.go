@@ -5,15 +5,21 @@
 package sweep
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/machine"
 	"repro/internal/policy"
 	"repro/internal/sched"
 	"repro/internal/stats"
 	"repro/internal/workloads"
+	"repro/internal/xrand"
 )
 
 // Grid declares the sweep space. Zero-valued fields get defaults.
@@ -65,63 +71,193 @@ type Record struct {
 	NormEnergy float64
 }
 
-// Run executes the grid. Cells are deterministic per seed; rows come
-// back sorted by (benchmark, cores, policy).
-func Run(g Grid) ([]Record, error) {
+// Cell is one (benchmark, policy, cores, seed) simulation: the unit the
+// parallel driver fans out. Outcomes are deterministic functions of the
+// identity fields alone — every RNG a cell consumes is derived from
+// (Seed, identity), never from shared mutable state — so a sweep's
+// cells are bit-identical no matter how many workers run them or in
+// what order they are scheduled. WallNS is the one exception: it is
+// host wall time, reported for profiling and excluded from parity
+// comparisons.
+type Cell struct {
+	Benchmark string `json:"benchmark"`
+	Policy    string `json:"policy"`
+	Cores     int    `json:"cores"`
+	Seed      uint64 `json:"seed"`
+
+	Makespan    float64 `json:"makespan_s"`
+	Energy      float64 `json:"energy_j"`
+	Utilization float64 `json:"utilization"`
+	Steals      int     `json:"steals"`
+	// WallNS is the host wall-clock the cell's simulation took, in
+	// nanoseconds (not deterministic; zero it before parity diffs).
+	WallNS int64 `json:"wall_ns"`
+}
+
+// id hashes the cell's identity — benchmark, policy and core count, but
+// deliberately not its position in any particular grid — so the engine
+// seed below does not depend on how the enumeration happened to be
+// shaped (adding a policy to the grid must not reseed everyone else's
+// cells).
+func (c *Cell) id() uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(c.Benchmark); i++ {
+		h = (h ^ uint64(c.Benchmark[i])) * prime
+	}
+	h = (h ^ 0xff) * prime
+	for i := 0; i < len(c.Policy); i++ {
+		h = (h ^ uint64(c.Policy[i])) * prime
+	}
+	h = (h ^ 0xff) * prime
+	return (h ^ uint64(c.Cores)) * prime
+}
+
+// enumerate lists the grid's cells in canonical order: benchmark, then
+// cores, then policy, then seed — the historical sequential loop nest.
+func enumerate(g Grid) []Cell {
+	cells := make([]Cell, 0, len(g.Benchmarks)*len(g.Cores)*len(g.Policies)*len(g.Seeds))
+	for _, bench := range g.Benchmarks {
+		for _, cores := range g.Cores {
+			for _, pol := range g.Policies {
+				for _, seed := range g.Seeds {
+					cells = append(cells, Cell{Benchmark: bench, Policy: pol, Cores: cores, Seed: seed})
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// run executes one cell. The workload is generated from the raw grid
+// seed — every policy in a (benchmark, cores, seed) comparison must
+// face the byte-identical task stream or the normalized columns compare
+// different workloads — while the engine's victim-selection stream is
+// split per cell identity, so no two cells share an RNG stream.
+func (c Cell) run() (Cell, error) {
+	b, err := workloads.ByName(c.Benchmark)
+	if err != nil {
+		return c, err
+	}
+	cfg := machine.Generic(c.Cores)
+	p, err := policy.New(c.Policy, cfg)
+	if err != nil {
+		return c, err
+	}
+	params := sched.DefaultParams()
+	params.Seed = xrand.Split(c.Seed, c.id())
+	start := time.Now()
+	res, err := sched.Run(cfg, b.Workload(c.Seed), p, params)
+	if err != nil {
+		return c, fmt.Errorf("sweep: %s/%s/%d seed %d: %w", c.Benchmark, c.Policy, c.Cores, c.Seed, err)
+	}
+	c.WallNS = time.Since(start).Nanoseconds()
+	c.Makespan = res.Makespan
+	c.Energy = res.Energy
+	c.Utilization = res.Utilization()
+	c.Steals = res.Steals
+	return c, nil
+}
+
+// RunCells executes the grid's cells on a pool of `workers` goroutines
+// (0 or less means GOMAXPROCS) and returns them in canonical
+// enumeration order. Each worker claims the next unstarted cell off a
+// shared atomic cursor and writes its result into the cell's own slot,
+// so the merge is a no-op and the output is identical — modulo WallNS —
+// for every worker count, including 1. On error the first failing cell
+// in canonical order wins (also independent of scheduling).
+func RunCells(g Grid, workers int) ([]Cell, error) {
 	g = g.withDefaults()
+	cells := enumerate(g)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+
+	results := make([]Cell, len(cells))
+	errs := make([]error, len(cells))
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(cells) {
+					return
+				}
+				results[i], errs[i] = cells[i].run()
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// Run executes the grid sequentially. Cells are deterministic per seed;
+// rows come back sorted by (benchmark, cores, policy).
+func Run(g Grid) ([]Record, error) { return RunParallel(g, 1) }
+
+// RunParallel executes the grid on `workers` goroutines (see RunCells)
+// and aggregates the cells into seed-averaged Records. The records are
+// bit-identical for every worker count.
+func RunParallel(g Grid, workers int) ([]Record, error) {
+	cells, err := RunCells(g, workers)
+	if err != nil {
+		return nil, err
+	}
+	return Aggregate(cells), nil
+}
+
+// Aggregate folds per-seed cells into seed-averaged records, normalized
+// against the same-(benchmark, cores) Cilk record when one exists, and
+// sorted by (benchmark, cores, policy). Aggregation order follows the
+// cells' order, so canonical cell input yields canonical records.
+func Aggregate(cells []Cell) []Record {
 	type cellKey struct {
 		bench  string
 		cores  int
 		policy string
 	}
-	cells := map[cellKey]*Record{}
-
-	for _, benchName := range g.Benchmarks {
-		b, err := workloads.ByName(benchName)
-		if err != nil {
-			return nil, err
+	groups := map[cellKey]*Record{}
+	samples := map[cellKey]*struct{ times, energies, utils, steals []float64 }{}
+	for _, c := range cells {
+		key := cellKey{c.Benchmark, c.Cores, c.Policy}
+		s := samples[key]
+		if s == nil {
+			s = &struct{ times, energies, utils, steals []float64 }{}
+			samples[key] = s
+			groups[key] = &Record{Benchmark: c.Benchmark, Policy: c.Policy, Cores: c.Cores}
 		}
-		for _, cores := range g.Cores {
-			cfg := machine.Generic(cores)
-			for _, policy := range g.Policies {
-				var times, energies, utils, steals []float64
-				for _, seed := range g.Seeds {
-					p, err := newPolicy(policy, cfg)
-					if err != nil {
-						return nil, err
-					}
-					params := sched.DefaultParams()
-					params.Seed = seed
-					res, err := sched.Run(cfg, b.Workload(seed), p, params)
-					if err != nil {
-						return nil, fmt.Errorf("sweep: %s/%s/%d seed %d: %w", benchName, policy, cores, seed, err)
-					}
-					times = append(times, res.Makespan)
-					energies = append(energies, res.Energy)
-					utils = append(utils, res.Utilization())
-					steals = append(steals, float64(res.Steals))
-				}
-				cells[cellKey{benchName, cores, policy}] = &Record{
-					Benchmark:   benchName,
-					Policy:      policy,
-					Cores:       cores,
-					Runs:        len(g.Seeds),
-					Makespan:    stats.Mean(times),
-					MakespanCI:  stats.CI95(times),
-					Energy:      stats.Mean(energies),
-					EnergyCI:    stats.CI95(energies),
-					Utilization: stats.Mean(utils),
-					Steals:      stats.Mean(steals),
-				}
-			}
-		}
+		s.times = append(s.times, c.Makespan)
+		s.energies = append(s.energies, c.Energy)
+		s.utils = append(s.utils, c.Utilization)
+		s.steals = append(s.steals, float64(c.Steals))
+	}
+	for key, rec := range groups {
+		s := samples[key]
+		rec.Runs = len(s.times)
+		rec.Makespan = stats.Mean(s.times)
+		rec.MakespanCI = stats.CI95(s.times)
+		rec.Energy = stats.Mean(s.energies)
+		rec.EnergyCI = stats.CI95(s.energies)
+		rec.Utilization = stats.Mean(s.utils)
+		rec.Steals = stats.Mean(s.steals)
 	}
 
 	// Normalize each (benchmark, cores) against its Cilk cell when one
 	// exists.
 	var out []Record
-	for key, rec := range cells {
-		base, ok := cells[cellKey{key.bench, key.cores, "cilk"}]
+	for key, rec := range groups {
+		base, ok := groups[cellKey{key.bench, key.cores, "cilk"}]
 		if ok && base.Makespan > 0 {
 			rec.NormTime = rec.Makespan / base.Makespan
 			rec.NormEnergy = rec.Energy / base.Energy
@@ -137,11 +273,16 @@ func Run(g Grid) ([]Record, error) {
 		}
 		return out[i].Policy < out[j].Policy
 	})
-	return out, nil
+	return out
 }
 
-func newPolicy(name string, cfg machine.Config) (sched.Policy, error) {
-	return policy.New(name, cfg)
+// WriteCellsJSON emits the per-cell results as an indented JSON array —
+// the machine-readable sweep output, including each cell's host wall
+// time for profiling the parallel driver.
+func WriteCellsJSON(w io.Writer, cells []Cell) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(cells)
 }
 
 // WriteCSV emits the records with a header row.

@@ -114,3 +114,114 @@ func TestWriteTable(t *testing.T) {
 		t.Errorf("table output:\n%s", buf.String())
 	}
 }
+
+func TestParallelParity(t *testing.T) {
+	// The parity contract of the parallel driver: any worker count
+	// produces byte-for-byte the cells of the sequential run, modulo
+	// the host wall-clock field.
+	g := Grid{
+		Benchmarks: []string{"md5", "lzw"},
+		Policies:   []string{"cilk", "cilk-d", "eewa"},
+		Cores:      []int{8},
+		Seeds:      []uint64{1, 2},
+	}
+	seq, err := RunCells(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range []int{2, 8} {
+		par, err := RunCells(g, j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := cellsJSON(t, par), cellsJSON(t, seq); got != want {
+			t.Errorf("-j %d diverged from -j 1:\n%s\nvs\n%s", j, got, want)
+		}
+	}
+}
+
+// cellsJSON renders cells for parity comparison, zeroing the
+// wall-clock field (the only legitimately nondeterministic one).
+func cellsJSON(t *testing.T, cells []Cell) string {
+	t.Helper()
+	c2 := append([]Cell(nil), cells...)
+	for i := range c2 {
+		c2[i].WallNS = 0
+	}
+	var buf bytes.Buffer
+	if err := WriteCellsJSON(&buf, c2); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestRunParallelMatchesRun(t *testing.T) {
+	g := smallGrid()
+	seq, err := Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunParallel(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("record counts differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Errorf("record %d differs:\n%+v\n%+v", i, seq[i], par[i])
+		}
+	}
+}
+
+func TestCellSeedGridShapeIndependent(t *testing.T) {
+	// Adding a policy to the grid must not reseed anyone else's cells:
+	// the same (benchmark, policy, cores, seed) must produce the same
+	// outcome in any grid that contains it.
+	small, err := RunCells(Grid{
+		Benchmarks: []string{"md5"}, Policies: []string{"eewa"},
+		Cores: []int{8}, Seeds: []uint64{1},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := RunCells(Grid{
+		Benchmarks: []string{"lzw", "md5"}, Policies: []string{"cilk", "wats", "eewa"},
+		Cores: []int{4, 8}, Seeds: []uint64{3, 1},
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := small[0]
+	for _, c := range big {
+		if c.Benchmark == want.Benchmark && c.Policy == want.Policy && c.Cores == want.Cores && c.Seed == want.Seed {
+			c.WallNS, want.WallNS = 0, 0
+			if c != want {
+				t.Errorf("cell outcome depends on grid shape:\n%+v\n%+v", c, want)
+			}
+			return
+		}
+	}
+	t.Fatal("shared cell not found in the bigger grid")
+}
+
+func TestRunCellsErrorDeterministic(t *testing.T) {
+	g := Grid{
+		Benchmarks: []string{"md5", "nope"},
+		Policies:   []string{"cilk"},
+		Cores:      []int{4},
+		Seeds:      []uint64{1},
+	}
+	e1, err1 := RunCells(g, 1)
+	e8, err8 := RunCells(g, 8)
+	if err1 == nil || err8 == nil {
+		t.Fatalf("unknown benchmark must error (got %v, %v)", err1, err8)
+	}
+	if err1.Error() != err8.Error() {
+		t.Errorf("error depends on worker count: %q vs %q", err1, err8)
+	}
+	if e1 != nil || e8 != nil {
+		t.Error("failed sweeps must not return cells")
+	}
+}

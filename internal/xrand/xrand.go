@@ -117,3 +117,33 @@ func (r *RNG) Shuffle(n int, swap func(i, j int)) {
 func (r *RNG) Split() *RNG {
 	return &RNG{state: r.Uint64()}
 }
+
+// Split derives the seed of an independent stream for one cell of a
+// partitioned computation (e.g. one (benchmark × policy × rep) cell of
+// a sweep grid) from a base seed and a stable cell identifier. The
+// derivation is pure — no generator state is consumed — so every cell's
+// stream is the same whether the cells run sequentially, in parallel,
+// or in any order: seed the cell's RNG with Split(seed, cell) instead
+// of drawing from a shared generator. The mix is the splitmix64
+// finalizer over seed advanced by (cell+1) golden-ratio increments,
+// i.e. cell steps ahead in the splitmix64 sequence of seed.
+func Split(seed, cell uint64) uint64 {
+	z := seed + (cell+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// PermInto fills p with a pseudo-random permutation of [0, len(p)),
+// drawing exactly the same values from r as Perm(len(p)) — callers on
+// hot paths reuse one buffer across calls without perturbing streams
+// that were recorded against Perm.
+func (r *RNG) PermInto(p []int) {
+	for i := range p {
+		p[i] = i
+	}
+	for i := len(p) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}

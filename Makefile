@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-check sweep sweep-parity check check-long cover experiments examples obs-demo serve-demo clean
+.PHONY: all build vet test race bench bench-check sweep sweep-parity check check-long cover experiments examples obs-demo serve-demo density density-smoke clean
 
 all: build vet test
 
@@ -89,6 +89,22 @@ obs-demo:
 serve-demo:
 	$(GO) run ./cmd/eewa-serve -demo -flush-ms 10 \
 		-queue-depth 24 -max-inflight 96 -metrics-out serve_metrics.prom
+
+# Saturation/density harness: sweep backlog depth (sim) and offered
+# load (serve) for cilk and eewa, record p50/p95/p99 + scheduling rate
+# + allocs/task per cell, and detect the saturation knee. Writes the
+# versioned BENCH_density.json artifact.
+density:
+	$(GO) run ./cmd/eewa-density -out BENCH_density.json
+
+# CI variant: a small grid (seconds, not minutes) that still exercises
+# both engines, both policies, and the knee detector end to end.
+density-smoke:
+	$(GO) run ./cmd/eewa-density -engines sim,serve -policies cilk,eewa \
+		-cores 4 -depths 16,128,1024 -load-mults 0.25,2,6 \
+		-cell-ms 800 -calib-ms 300 -out BENCH_density.json
+	@grep -q '"version": 1' BENCH_density.json
+	@echo "density smoke OK: BENCH_density.json written"
 
 # Reproduction artifacts referenced from EXPERIMENTS.md.
 artifacts:

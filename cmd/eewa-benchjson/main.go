@@ -75,6 +75,7 @@ func main() {
 	reps := flag.Int("reps", 7, "repetitions per seed; fastest rep is kept (reduces host noise)")
 	baseline := flag.String("baseline", "", "baseline path (defaults to -out when it exists)")
 	maxRegress := flag.Float64("max-regress", 0.05, "max allowed relative drop in cilk-normalized throughput")
+	maxAllocRegress := flag.Float64("max-alloc-regress", 0.15, "max allowed relative growth in per-task heap allocations (geomean)")
 	checkOnly := flag.Bool("check-only", false, "compare against the baseline without rewriting it")
 	flag.Parse()
 
@@ -88,11 +89,11 @@ func main() {
 		basePath = *out
 	}
 	if prev, err := load(basePath); err == nil {
-		if err := check(prev, rec, *maxRegress); err != nil {
+		if err := check(prev, rec, *maxRegress, *maxAllocRegress); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("baseline %s: all policies within %.0f%% of recorded throughput\n",
-			basePath, 100**maxRegress)
+		fmt.Printf("baseline %s: all policies within %.0f%% of recorded throughput, %.0f%% of recorded allocs/task\n",
+			basePath, 100**maxRegress, 100**maxAllocRegress)
 	} else if *checkOnly {
 		log.Fatalf("baseline %s unreadable: %v", basePath, err)
 	} else {
@@ -235,17 +236,20 @@ func load(path string) (*Record, error) {
 
 // check compares the fresh measurement against the baseline: decisions
 // (makespan/energy) must be stable; the geometric mean of the
-// cilk-normalized throughput ratios may not regress beyond maxRegress.
-// The gate is on the mean, not per policy: an engine-level slowdown
-// moves every ratio together (full signal), while per-policy host
-// jitter averages out.
-func check(base, cur *Record, maxRegress float64) error {
+// cilk-normalized throughput ratios may not regress beyond maxRegress,
+// and the geometric mean of per-task heap allocations may not grow
+// beyond maxAllocRegress (an allocation on the task hot path moves
+// every policy's count together, just like a slowdown). The gates are
+// on the means, not per policy: an engine-level change is full signal,
+// while per-policy host jitter averages out.
+func check(base, cur *Record, maxRegress, maxAllocRegress float64) error {
 	if base.Benchmark != cur.Benchmark || base.Cores != cur.Cores || base.Seeds != cur.Seeds {
 		fmt.Printf("baseline setup differs (%s/%d cores/%d seeds vs %s/%d/%d) — skipping comparison\n",
 			base.Benchmark, base.Cores, base.Seeds, cur.Benchmark, cur.Cores, cur.Seeds)
 		return nil
 	}
 	baseG, curG, n := 1.0, 1.0, 0
+	baseA, curA, nA := 1.0, 1.0, 0
 	for _, name := range policy.IDs() {
 		b, ok := base.Policies[name]
 		if !ok {
@@ -267,6 +271,23 @@ func check(base, cur *Record, maxRegress float64) error {
 				fmt.Printf("note: %s cilk-normalized throughput %.3f → %.3f (%.1f%% below baseline)\n",
 					name, b.NormThroughput, c.NormThroughput, 100*loss)
 			}
+		}
+		if b.AllocsPerTask > 0 && c.AllocsPerTask > 0 {
+			baseA *= b.AllocsPerTask
+			curA *= c.AllocsPerTask
+			nA++
+			if growth := c.AllocsPerTask/b.AllocsPerTask - 1; growth > maxAllocRegress {
+				fmt.Printf("note: %s allocs/task %.2f → %.2f (%.1f%% above baseline)\n",
+					name, b.AllocsPerTask, c.AllocsPerTask, 100*growth)
+			}
+		}
+	}
+	if nA > 0 {
+		baseA = math.Pow(baseA, 1/float64(nA))
+		curA = math.Pow(curA, 1/float64(nA))
+		if growth := curA/baseA - 1; growth > maxAllocRegress {
+			return fmt.Errorf("sim allocations regressed %.1f%% (allocs/task geomean %.2f → %.2f), budget %.0f%%",
+				100*growth, baseA, curA, 100*maxAllocRegress)
 		}
 	}
 	if n == 0 {

@@ -1,0 +1,447 @@
+// Command eewa-density sweeps offered load and backlog depth against
+// both execution engines and reports where each saturates.
+//
+// Two sweeps, one per engine:
+//
+//   - sim: backlog depth — batches of N tasks through the
+//     discrete-event simulator. Latency is simulated seconds since
+//     batch start (from the eewa_sim_task_latency_seconds histogram);
+//     the scheduling rate is tasks per host-second, so the cell also
+//     measures the engine itself.
+//   - serve: offered load — an open-loop driver submits jobs through
+//     the real HTTP handler (in-process, no sockets) at fixed
+//     multiples of a calibrated closed-loop capacity. Latency is wall
+//     end-to-end seconds since admission (Server.LatencySummary).
+//
+// Every cell records p50/p95/p99, scheduling rate, and host heap
+// allocations per task. The report (BENCH_density.json, schema
+// internal/density) includes the detected saturation knee per
+// (engine, policy): the first sweep step whose p99 exceeds
+// -knee-threshold × the lowest step's p99.
+//
+// Usage:
+//
+//	eewa-density -out BENCH_density.json
+//	eewa-density -engines sim -policies cilk,eewa -depths 16,64,256,1024
+//	eewa-density -engines serve -load-mults 0.25,1,4 -cell-ms 2000
+//	eewa-density -debug-addr :6060   # live /metrics + /debug/pprof per cell
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/density"
+	"repro/internal/machine"
+	"repro/internal/obs"
+	"repro/internal/policy"
+	"repro/internal/sched"
+	"repro/internal/serve"
+	"repro/internal/task"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("eewa-density: ")
+	var (
+		out        = flag.String("out", "BENCH_density.json", "report path (- for stdout)")
+		engines    = flag.String("engines", "sim,serve", "comma-separated engines to sweep: sim,serve")
+		policies   = flag.String("policies", "cilk,eewa", "comma-separated scheduling policies")
+		cores      = flag.Int("cores", 8, "simulated cores / runtime workers")
+		threshold  = flag.Float64("knee-threshold", 2.5, "saturation knee: first step with p99 > threshold x baseline p99")
+		seed       = flag.Uint64("seed", 1, "workload / victim-selection seed")
+		debugAddr  = flag.String("debug-addr", "", "serve live metrics + pprof for the active cell (e.g. :6060)")
+		depths     = flag.String("depths", "16,64,256,1024", "sim sweep: backlog depths (tasks per batch)")
+		batches    = flag.Int("batches", 3, "sim: batches per cell")
+		meanWorkUS = flag.Float64("mean-work-us", 150, "sim: mean task work in microseconds at F0")
+		loadMults  = flag.String("load-mults", "0.25,0.5,1,2,4,8", "serve sweep: offered load as multiples of calibrated capacity")
+		cellMS     = flag.Int("cell-ms", 1500, "serve: open-loop drive time per cell, milliseconds")
+		calibMS    = flag.Int("calib-ms", 500, "serve: closed-loop capacity calibration time, milliseconds")
+		jobTasks   = flag.Int("job-tasks", 8, "serve: tasks per submitted job")
+		sizeBytes  = flag.Int("size-bytes", 65536, "serve: corpus bytes per task")
+		funcName   = flag.String("func", "dmc", "serve: kernel to drive (one of the servable funcs)")
+	)
+	flag.Parse()
+
+	engineSet, err := parseList(*engines, map[string]bool{"sim": true, "serve": true})
+	if err != nil {
+		log.Fatalf("-engines: %v", err)
+	}
+	polList := strings.Split(*policies, ",")
+	for i := range polList {
+		polList[i] = strings.TrimSpace(polList[i])
+	}
+	depthList, err := parseInts(*depths)
+	if err != nil {
+		log.Fatalf("-depths: %v", err)
+	}
+	multList, err := parseFloats(*loadMults)
+	if err != nil {
+		log.Fatalf("-load-mults: %v", err)
+	}
+
+	dbg := newSwapHandler()
+	if *debugAddr != "" {
+		addr := mustServeDebug(*debugAddr, dbg)
+		log.Printf("debug endpoint on http://%s (metrics + pprof follow the active cell)", addr)
+	}
+
+	rep := density.New(*threshold)
+	for _, pol := range polList {
+		if _, err := policy.New(pol, machine.Generic(*cores)); err != nil {
+			log.Fatal(err)
+		}
+		if engineSet["sim"] {
+			for _, depth := range depthList {
+				cell, err := simCell(pol, *cores, depth, *batches, *meanWorkUS*1e-6, *seed, dbg)
+				if err != nil {
+					log.Fatalf("sim %s depth %d: %v", pol, depth, err)
+				}
+				logCell(cell)
+				rep.Add(cell)
+			}
+		}
+		if engineSet["serve"] {
+			sc := serveSweep{
+				policy: pol, workers: *cores, seed: *seed,
+				jobTasks: *jobTasks, sizeBytes: *sizeBytes, fn: *funcName,
+				cellDur: time.Duration(*cellMS) * time.Millisecond,
+			}
+			capacity, err := sc.calibrate(time.Duration(*calibMS) * time.Millisecond)
+			if err != nil {
+				log.Fatalf("serve %s calibration: %v", pol, err)
+			}
+			log.Printf("serve/%-6s closed-loop capacity ~%.0f tasks/s", pol, capacity)
+			for _, mult := range multList {
+				cell, err := sc.cell(mult*capacity, dbg)
+				if err != nil {
+					log.Fatalf("serve %s load %.2fx: %v", pol, mult, err)
+				}
+				logCell(cell)
+				rep.Add(cell)
+			}
+		}
+	}
+
+	rep.Finalize()
+	for _, k := range rep.Knees {
+		status := "no knee"
+		if k.Found {
+			status = "knee"
+		}
+		log.Printf("%s/%-6s %s: %s at %s=%.4g (p99 %.3gs vs baseline %.3gs, threshold %.2gx)",
+			k.Engine, k.Policy, k.Axis, status, k.Axis, k.At, k.KneeP99, k.BaselineP99, k.Threshold)
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		log.Fatal(err)
+	}
+	if *out == "-" {
+		os.Stdout.Write(buf.Bytes())
+		return
+	}
+	if err := os.WriteFile(*out, buf.Bytes(), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s (%d cells, %d knees)", *out, len(rep.Cells), len(rep.Knees))
+}
+
+func logCell(c density.Cell) {
+	axis, at := c.Axis()
+	log.Printf("%s/%-6s %s=%-8.4g tasks=%-6d rate=%.0f/s p50=%.3gs p99=%.3gs allocs/task=%.1f",
+		c.Engine, c.Policy, axis, at, c.Tasks, c.RateTPS, c.P50S, c.P99S, c.AllocsPerTask)
+}
+
+// simCell runs `batches` batches of `depth` tasks through the
+// discrete-event simulator and reads latency quantiles off the
+// engine's per-class histogram.
+func simCell(pol string, cores, depth, batches int, meanWork float64, seed uint64, dbg *swapHandler) (density.Cell, error) {
+	cfg := machine.Generic(cores)
+	w, err := task.Generate("density", batches, []task.ClassSpec{
+		{Name: "dens", Count: depth, MeanWork: meanWork, JitterFrac: 0.2},
+	}, seed)
+	if err != nil {
+		return density.Cell{}, err
+	}
+	p, err := policy.New(pol, cfg)
+	if err != nil {
+		return density.Cell{}, err
+	}
+	reg := obs.NewRegistry()
+	dbg.set(reg)
+	params := sched.DefaultParams()
+	params.Obs = reg
+	params.Seed = seed
+
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	res, err := sched.Run(cfg, w, p, params)
+	wall := time.Since(start).Seconds()
+	runtime.ReadMemStats(&m1)
+	if err != nil {
+		return density.Cell{}, err
+	}
+
+	lh, ok := reg.At("eewa_sim_task_latency_seconds", "dens").(*obs.LogHistogram)
+	if !ok {
+		return density.Cell{}, fmt.Errorf("sim registry has no latency histogram for class dens")
+	}
+	tasks := w.TotalTasks()
+	return density.Cell{
+		Engine: "sim", Policy: pol, Depth: depth,
+		Tasks: tasks, WallS: wall, RateTPS: float64(tasks) / wall,
+		P50S: lh.Quantile(0.50), P95S: lh.Quantile(0.95), P99S: lh.Quantile(0.99),
+		AllocsPerTask: float64(m1.Mallocs-m0.Mallocs) / float64(tasks),
+		EnergyJ:       res.Energy,
+	}, nil
+}
+
+// serveSweep drives the live serve engine through its HTTP handler
+// in-process (httptest recorders, no sockets), so the measured path is
+// decode → admission → batcher → runtime → response.
+type serveSweep struct {
+	policy    string
+	workers   int
+	seed      uint64
+	jobTasks  int
+	sizeBytes int
+	fn        string
+	cellDur   time.Duration
+
+	jobSeq atomic.Uint64
+}
+
+func (sc *serveSweep) newServer(reg *obs.Registry) (*serve.Server, error) {
+	return serve.New(serve.Config{
+		Workers:    sc.workers,
+		Policy:     sc.policy,
+		Seed:       sc.seed,
+		FlushEvery: 2 * time.Millisecond,
+		Obs:        reg,
+	})
+}
+
+// postJob submits one job synchronously and returns the HTTP status.
+func (sc *serveSweep) postJob(h http.Handler) int {
+	body, _ := json.Marshal(serve.JobRequest{
+		Tenant: "density", Func: sc.fn,
+		Count: sc.jobTasks, SizeBytes: sc.sizeBytes,
+		Seed: sc.jobSeq.Add(1),
+	})
+	r := httptest.NewRequest(http.MethodPost, "/v1/jobs", bytes.NewReader(body))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, r)
+	return w.Code
+}
+
+// calibrate measures closed-loop capacity (tasks/s): 2×workers
+// submitters each keep one job outstanding for `dur`. The open-loop
+// sweep offers multiples of this rate.
+func (sc *serveSweep) calibrate(dur time.Duration) (float64, error) {
+	srv, err := sc.newServer(nil)
+	if err != nil {
+		return 0, err
+	}
+	h := srv.Handler()
+	begin := time.Now()
+	stop := begin.Add(dur)
+	var wg sync.WaitGroup
+	for i := 0; i < 2*sc.workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(stop) {
+				sc.postJob(h)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := drain(srv); err != nil {
+		return 0, err
+	}
+	wall := time.Since(begin).Seconds()
+	tasks := srv.Stats().Tasks
+	if tasks == 0 {
+		return 0, fmt.Errorf("calibration completed no tasks in %s", dur)
+	}
+	return float64(tasks) / wall, nil
+}
+
+// cell drives one open-loop load step: arrivals at a fixed rate
+// regardless of completions, so queue wait is visible once offered
+// load passes capacity (rejections absorb the overflow).
+func (sc *serveSweep) cell(loadTPS float64, dbg *swapHandler) (density.Cell, error) {
+	reg := obs.NewRegistry()
+	dbg.set(reg)
+	srv, err := sc.newServer(reg)
+	if err != nil {
+		return density.Cell{}, err
+	}
+	h := srv.Handler()
+	jobRate := loadTPS / float64(sc.jobTasks)
+
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	begin := time.Now()
+	deadline := begin.Add(sc.cellDur)
+	var wg sync.WaitGroup
+	launched := 0
+	tick := time.NewTicker(time.Millisecond)
+	for now := range tick.C {
+		if now.After(deadline) {
+			break
+		}
+		// Owed arrivals so far minus those already launched; spawning
+		// the difference keeps the offered rate exact even when a tick
+		// is late.
+		owed := int(now.Sub(begin).Seconds()*jobRate) - launched
+		for i := 0; i < owed; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sc.postJob(h)
+			}()
+		}
+		launched += owed
+	}
+	tick.Stop()
+	wg.Wait()
+	if err := drain(srv); err != nil {
+		return density.Cell{}, err
+	}
+	wall := time.Since(begin).Seconds()
+	runtime.ReadMemStats(&m1)
+
+	st := srv.Stats()
+	sum := srv.LatencySummary()
+	cell := density.Cell{
+		Engine: "serve", Policy: sc.policy,
+		Depth: 512, LoadTPS: loadTPS, // Depth mirrors the default MaxInFlight bound
+		Tasks: int(st.Tasks), WallS: wall,
+		P50S: sum.E2EP50, P95S: sum.E2EP95, P99S: sum.E2EP99,
+		EnergyJ:  srv.Runtime().Stats().Energy,
+		Rejected: st.Rejected,
+	}
+	if wall > 0 {
+		cell.RateTPS = float64(st.Tasks) / wall
+	}
+	if st.Tasks > 0 {
+		// Includes the driver's own marshal/recorder allocations — a
+		// per-task cost of the full submission path, not the runtime
+		// alone.
+		cell.AllocsPerTask = float64(m1.Mallocs-m0.Mallocs) / float64(st.Tasks)
+	}
+	return cell, nil
+}
+
+func drain(srv *serve.Server) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	return srv.Drain(ctx)
+}
+
+// swapHandler lets one -debug-addr listener follow the active cell's
+// registry: each cell swaps in a fresh obs handler (metrics + pprof).
+type swapHandler struct{ v atomic.Value }
+
+func newSwapHandler() *swapHandler { return &swapHandler{} }
+
+func (s *swapHandler) set(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	s.v.Store(obs.HandlerWith(reg, obs.HandlerOptions{Pprof: true, GoRuntime: true}))
+}
+
+func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h, ok := s.v.Load().(http.Handler); ok {
+		h.ServeHTTP(w, r)
+		return
+	}
+	http.Error(w, "no active cell yet", http.StatusServiceUnavailable)
+}
+
+func mustServeDebug(addr string, h http.Handler) net.Addr {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatalf("debug listener: %v", err)
+	}
+	go func() {
+		if err := http.Serve(ln, h); err != nil {
+			log.Printf("debug server: %v", err)
+		}
+	}()
+	return ln.Addr()
+}
+
+func parseList(s string, allowed map[string]bool) (map[string]bool, error) {
+	out := map[string]bool{}
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		if !allowed[f] {
+			keys := make([]string, 0, len(allowed))
+			for k := range allowed {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			return nil, fmt.Errorf("unknown entry %q (want one of %v)", f, keys)
+		}
+		out[f] = true
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		if v <= 0 {
+			return nil, fmt.Errorf("need positive values, got %d", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, err
+		}
+		if v <= 0 {
+			return nil, fmt.Errorf("need positive values, got %g", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -56,6 +56,7 @@ func main() {
 	flushMS := flag.Int("flush-ms", 25, "batching interval in milliseconds")
 	queueDepth := flag.Int("queue-depth", 128, "per-tenant queued-task bound")
 	maxInflight := flag.Int("max-inflight", 512, "global in-flight task budget")
+	goMetrics := flag.Bool("go-metrics", false, "bridge runtime/metrics (goroutines, heap, GC, sched latency) into /metrics as eewa_go_* gauges")
 	metricsOut := flag.String("metrics-out", "", "write a final Prometheus metrics snapshot here on drain")
 	drainSecs := flag.Int("drain-timeout", 60, "seconds to wait for the drain to finish")
 	demo := flag.Bool("demo", false, "drive a burst of submissions against the server, print the outcome, drain and exit")
@@ -97,6 +98,7 @@ func main() {
 		QueueDepth:  *queueDepth,
 		MaxInFlight: *maxInflight,
 		Obs:         reg,
+		GoMetrics:   *goMetrics,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -138,6 +140,11 @@ func main() {
 	st := srv.Stats()
 	log.Printf("drained: %d jobs admitted, %d completed, %d rejected, %d timed out, %d batches, %d tasks",
 		st.Admitted, st.Completed, st.Rejected, st.Timeouts, st.Batches, st.Tasks)
+	if sum := srv.LatencySummary(); sum.Jobs > 0 {
+		log.Printf("latency over %d jobs: e2e p50 %.1fms p95 %.1fms p99 %.1fms (mean %.1fms), queue wait p50 %.1fms p95 %.1fms p99 %.1fms",
+			sum.Jobs, sum.E2EP50*1e3, sum.E2EP95*1e3, sum.E2EP99*1e3, sum.E2EMean*1e3,
+			sum.QueueP50*1e3, sum.QueueP95*1e3, sum.QueueP99*1e3)
+	}
 	if *metricsOut != "" {
 		var buf bytes.Buffer
 		if err := reg.WritePrometheus(&buf); err != nil {

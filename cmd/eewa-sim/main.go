@@ -37,6 +37,7 @@ func main() {
 	csvPath := flag.String("csv", "", "write per-task spans to this CSV file")
 	metricsOut := flag.String("metrics-out", "", "write Prometheus-format metrics to this file (accumulated over all runs)")
 	traceOut := flag.String("trace-out", "", "write a Chrome/Perfetto trace-event JSON file (last run wins)")
+	maxSpans := flag.Int("max-spans", 0, "cap retained trace spans (drop-oldest); 0 keeps every span")
 	profileOut := flag.String("profile-out", "", "save the run's workload profile (JSON) for offline reuse")
 	profileIn := flag.String("profile-in", "", "load an offline workload profile (JSON); EEWA configures before batch 1")
 	flag.Parse()
@@ -123,7 +124,7 @@ func main() {
 			params.Obs = reg
 			var rec *trace.Recorder
 			if *gantt || *csvPath != "" || *traceOut != "" {
-				rec = &trace.Recorder{}
+				rec = &trace.Recorder{MaxSpans: *maxSpans}
 				params.Recorder = rec
 			}
 			res, err := sched.Run(cfg, w, p, params)
@@ -139,6 +140,9 @@ func main() {
 			}
 			if rec != nil && *gantt {
 				fmt.Print(rec.Gantt(100))
+			}
+			if rec != nil && rec.Dropped() > 0 {
+				fmt.Printf("  (trace capped at %d spans: %d oldest dropped)\n", rec.Len(), rec.Dropped())
 			}
 			if *profileOut != "" && res.Profile != nil {
 				f, err := os.Create(*profileOut)

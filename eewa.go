@@ -77,6 +77,15 @@ type (
 	// counters, gauges and histograms exportable as Prometheus text or
 	// JSON (internal/obs). Set it as Params.Obs or LiveConfig.Obs.
 	Metrics = obs.Registry
+	// LatencyHistogram is a lock-free log-bucketed histogram with
+	// quantile estimation (≤12.5 % relative error); both runtimes use
+	// it for task and request latencies. Fetch registered children via
+	// (*Metrics).At(name, labelValues...).
+	LatencyHistogram = obs.LogHistogram
+	// ServeLatencySummary is the end-of-run p50/p95/p99 digest the job
+	// service computes from its request-span histograms
+	// ((*JobServer).LatencySummary).
+	ServeLatencySummary = serve.LatencySummary
 	// TraceRecorder collects per-core execution, steal and idle spans
 	// and renders them as a Gantt chart, CSV or Perfetto-compatible
 	// trace-event JSON (internal/trace). Set it as Params.Recorder.

@@ -1,0 +1,158 @@
+// Package density defines the saturation/density report emitted by
+// cmd/eewa-density: a grid of measurement cells (one per engine ×
+// policy × sweep point) plus the detected saturation knees — the first
+// sweep step where tail latency leaves the linear regime. The report
+// is versioned so CI artifacts stay comparable across harness changes.
+package density
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Version is the report schema version. Bump it when a field changes
+// meaning; readers must reject versions they do not understand.
+const Version = 1
+
+// Cell is one measurement point of the sweep.
+//
+// The sweep axis differs per engine: the simulator sweeps backlog
+// depth (tasks admitted per batch, Depth), the serve engine sweeps
+// offered load (open-loop tasks/s, LoadTPS). Axis() picks the active
+// one.
+type Cell struct {
+	Engine string `json:"engine"` // "sim" or "serve"
+	Policy string `json:"policy"` // canonical policy id
+
+	Depth   int     `json:"depth"`              // backlog depth in tasks (sim axis; serve: MaxInFlight bound)
+	LoadTPS float64 `json:"load_tps,omitempty"` // offered load in tasks/s (serve axis; 0 for sim)
+
+	Tasks   int     `json:"tasks"`          // tasks completed in the cell
+	WallS   float64 `json:"wall_s"`         // host wall time measuring the cell
+	RateTPS float64 `json:"sched_rate_tps"` // scheduling rate: tasks / wall
+
+	P50S float64 `json:"p50_s"` // task-latency quantiles (sim: simulated
+	P95S float64 `json:"p95_s"` // seconds since batch start; serve: wall
+	P99S float64 `json:"p99_s"` // end-to-end seconds since admission)
+
+	AllocsPerTask float64 `json:"allocs_per_task"` // host heap allocations per task
+	EnergyJ       float64 `json:"energy_j,omitempty"`
+	Rejected      uint64  `json:"rejected,omitempty"` // serve: jobs refused by backpressure
+}
+
+// Axis returns the sweep-axis name and this cell's position on it.
+func (c Cell) Axis() (string, float64) {
+	if c.LoadTPS > 0 {
+		return "load_tps", c.LoadTPS
+	}
+	return "depth", float64(c.Depth)
+}
+
+// Knee is the detected saturation point of one (engine, policy) sweep:
+// the first step whose p99 exceeds Threshold × the unloaded baseline
+// (the sweep's lowest step). When no step crosses, Found is false and
+// At/KneeP99 describe the last step observed.
+type Knee struct {
+	Engine      string  `json:"engine"`
+	Policy      string  `json:"policy"`
+	Axis        string  `json:"axis"` // "depth" or "load_tps"
+	At          float64 `json:"at"`   // axis value of the knee (or last step)
+	Found       bool    `json:"found"`
+	BaselineP99 float64 `json:"baseline_p99_s"`
+	KneeP99     float64 `json:"knee_p99_s"`
+	Threshold   float64 `json:"threshold"`
+}
+
+// Report is the versioned artifact (BENCH_density.json).
+type Report struct {
+	Version   int     `json:"version"`
+	Threshold float64 `json:"knee_threshold"`
+	Cells     []Cell  `json:"cells"`
+	Knees     []Knee  `json:"knees"`
+}
+
+// New returns an empty report with the given knee threshold.
+func New(threshold float64) *Report {
+	return &Report{Version: Version, Threshold: threshold}
+}
+
+// Add appends one measurement cell.
+func (r *Report) Add(c Cell) { r.Cells = append(r.Cells, c) }
+
+// Finalize recomputes the knees from the accumulated cells.
+func (r *Report) Finalize() { r.Knees = DetectKnees(r.Cells, r.Threshold) }
+
+// DetectKnees groups cells by (engine, policy), orders each group
+// along its sweep axis, and finds the first step whose p99 exceeds
+// threshold × the group's baseline p99 (the lowest step). Groups are
+// returned in sorted (engine, policy) order so the artifact is
+// deterministic.
+func DetectKnees(cells []Cell, threshold float64) []Knee {
+	if threshold <= 1 {
+		threshold = 2 // a knee must at least exceed the baseline
+	}
+	groups := map[[2]string][]Cell{}
+	for _, c := range cells {
+		k := [2]string{c.Engine, c.Policy}
+		groups[k] = append(groups[k], c)
+	}
+	keys := make([][2]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+
+	var knees []Knee
+	for _, k := range keys {
+		g := groups[k]
+		sort.SliceStable(g, func(i, j int) bool {
+			_, a := g[i].Axis()
+			_, b := g[j].Axis()
+			return a < b
+		})
+		axis, at0 := g[0].Axis()
+		kn := Knee{
+			Engine: k[0], Policy: k[1], Axis: axis,
+			At: at0, BaselineP99: g[0].P99S, KneeP99: g[0].P99S,
+			Threshold: threshold,
+		}
+		for _, c := range g[1:] {
+			_, at := c.Axis()
+			kn.At, kn.KneeP99 = at, c.P99S
+			if kn.BaselineP99 > 0 && c.P99S > threshold*kn.BaselineP99 {
+				kn.Found = true
+				break
+			}
+		}
+		knees = append(knees, kn)
+	}
+	return knees
+}
+
+// WriteJSON emits the report (indented, trailing newline) after
+// refreshing the knees.
+func (r *Report) WriteJSON(w io.Writer) error {
+	r.Finalize()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Load parses a report and rejects unknown schema versions.
+func Load(rd io.Reader) (*Report, error) {
+	var r Report
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, fmt.Errorf("density: %w", err)
+	}
+	if r.Version != Version {
+		return nil, fmt.Errorf("density: report version %d, want %d", r.Version, Version)
+	}
+	return &r, nil
+}

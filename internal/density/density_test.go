@@ -1,0 +1,126 @@
+package density
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func simCells(pol string, p99s ...float64) []Cell {
+	out := make([]Cell, len(p99s))
+	for i, p := range p99s {
+		out[i] = Cell{Engine: "sim", Policy: pol, Depth: 16 << (2 * i), P99S: p}
+	}
+	return out
+}
+
+func TestDetectKneeFound(t *testing.T) {
+	cells := simCells("eewa", 0.001, 0.002, 0.009, 0.050)
+	knees := DetectKnees(cells, 3)
+	if len(knees) != 1 {
+		t.Fatalf("got %d knees, want 1", len(knees))
+	}
+	k := knees[0]
+	if !k.Found {
+		t.Fatal("knee not found")
+	}
+	// First crossing of 3× the 0.001 baseline is the 0.009 step (depth 256).
+	if k.Axis != "depth" || k.At != 256 || k.KneeP99 != 0.009 || k.BaselineP99 != 0.001 {
+		t.Errorf("knee = %+v", k)
+	}
+}
+
+func TestDetectKneeFlat(t *testing.T) {
+	knees := DetectKnees(simCells("cilk", 0.001, 0.0012, 0.0011), 3)
+	if len(knees) != 1 || knees[0].Found {
+		t.Fatalf("flat sweep should find no knee: %+v", knees)
+	}
+	// At/KneeP99 still describe the last step for context.
+	if knees[0].At != 16<<4 || knees[0].KneeP99 != 0.0011 {
+		t.Errorf("unfound knee = %+v", knees[0])
+	}
+}
+
+func TestDetectKneeGroupsAndOrder(t *testing.T) {
+	// Two engines × two policies, interleaved and out of axis order.
+	var cells []Cell
+	cells = append(cells, Cell{Engine: "serve", Policy: "eewa", LoadTPS: 4000, P99S: 0.9})
+	cells = append(cells, simCells("eewa", 0.001, 0.01)...)
+	cells = append(cells, Cell{Engine: "serve", Policy: "eewa", LoadTPS: 500, P99S: 0.01})
+	cells = append(cells, simCells("cilk", 0.001, 0.01)...)
+	knees := DetectKnees(cells, 3)
+	if len(knees) != 3 {
+		t.Fatalf("got %d knees, want 3", len(knees))
+	}
+	// Sorted by (engine, policy): serve/eewa sorts after sim/cilk, sim/eewa.
+	wantOrder := [][2]string{{"serve", "eewa"}, {"sim", "cilk"}, {"sim", "eewa"}}
+	for i, w := range wantOrder {
+		if knees[i].Engine != w[0] || knees[i].Policy != w[1] {
+			t.Errorf("knees[%d] = %s/%s, want %s/%s", i, knees[i].Engine, knees[i].Policy, w[0], w[1])
+		}
+		if !knees[i].Found {
+			t.Errorf("knees[%d] (%s/%s) not found", i, w[0], w[1])
+		}
+	}
+	// The serve group was fed out of order; the baseline must be the
+	// low-load cell.
+	if knees[0].Axis != "load_tps" || knees[0].BaselineP99 != 0.01 || knees[0].At != 4000 {
+		t.Errorf("serve knee = %+v", knees[0])
+	}
+}
+
+func TestDetectKneeDegenerate(t *testing.T) {
+	if knees := DetectKnees(nil, 3); len(knees) != 0 {
+		t.Errorf("no cells should yield no knees: %+v", knees)
+	}
+	// A single-cell group cannot cross its own baseline.
+	knees := DetectKnees(simCells("eewa", 0.5), 3)
+	if len(knees) != 1 || knees[0].Found {
+		t.Errorf("single cell: %+v", knees)
+	}
+	// A zero baseline (empty histogram) never divides by zero and never
+	// fires.
+	knees = DetectKnees(simCells("eewa", 0, 1, 100), 3)
+	if knees[0].Found {
+		t.Errorf("zero baseline must not fire: %+v", knees[0])
+	}
+	// Threshold ≤ 1 is clamped, not honored verbatim.
+	knees = DetectKnees(simCells("eewa", 1, 1.01), 0.5)
+	if knees[0].Found {
+		t.Errorf("clamped threshold fired on a 1%% rise: %+v", knees[0])
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	r := New(3)
+	for _, c := range simCells("eewa", 0.001, 0.02) {
+		c.Tasks = 100
+		c.WallS = 0.5
+		c.RateTPS = 200
+		c.AllocsPerTask = 12.5
+		r.Add(c)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"version": 1`, `"knee_threshold": 3`, `"sched_rate_tps"`, `"allocs_per_task"`, `"found": true`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSON missing %s:\n%s", want, out)
+		}
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Cells) != 2 || len(got.Knees) != 1 || !got.Knees[0].Found {
+		t.Errorf("round trip: %d cells, knees %+v", len(got.Cells), got.Knees)
+	}
+
+	// Version mismatch must be rejected.
+	bad := strings.Replace(out, `"version": 1`, `"version": 99`, 1)
+	if _, err := Load(strings.NewReader(bad)); err == nil {
+		t.Error("version 99 accepted")
+	}
+}

@@ -171,6 +171,7 @@ const (
 	kindCounter metricKind = iota
 	kindGauge
 	kindHistogram
+	kindLogHistogram
 )
 
 func (k metricKind) String() string {
@@ -180,6 +181,8 @@ func (k metricKind) String() string {
 	case kindGauge:
 		return "gauge"
 	default:
+		// Log-bucketed histograms expose the same cumulative-bucket
+		// series as fixed-bucket ones, so both advertise "histogram".
 		return "histogram"
 	}
 }
@@ -202,11 +205,14 @@ type family struct {
 
 const labelSep = "\x1f"
 
+// joinLabelValues builds the child map key for a label-value list.
+func joinLabelValues(values []string) string { return strings.Join(values, labelSep) }
+
 func (f *family) child(values []string) any {
 	if len(values) != len(f.labels) {
 		panic(fmt.Sprintf("obs: metric %s wants %d label values, got %d", f.name, len(f.labels), len(values)))
 	}
-	key := strings.Join(values, labelSep)
+	key := joinLabelValues(values)
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if m, ok := f.children[key]; ok {
@@ -218,6 +224,8 @@ func (f *family) child(values []string) any {
 		m = &Counter{}
 	case kindGauge:
 		m = &Gauge{}
+	case kindLogHistogram:
+		m = &LogHistogram{}
 	default:
 		m = newHistogram(f.buckets)
 	}
@@ -313,6 +321,8 @@ func (r *Registry) lookup(name, help string, kind metricKind, buckets []float64,
 		// children created on demand
 	case kind == kindHistogram:
 		f.plain = newHistogram(buckets)
+	case kind == kindLogHistogram:
+		f.plain = &LogHistogram{}
 	case kind == kindGauge:
 		f.plain = &Gauge{}
 	default:

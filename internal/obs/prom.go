@@ -116,6 +116,44 @@ func writeMetricProm(w io.Writer, name, labels string, m any) error {
 		}
 		_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, labels, m.Count())
 		return err
+	case *LogHistogram:
+		// Log-bucketed histograms have ~500 fixed buckets; only the
+		// occupied ones are emitted (cumulatively, so the series is
+		// still a valid Prometheus histogram) to keep scrapes small.
+		base := strings.TrimSuffix(strings.TrimPrefix(labels, "{"), "}")
+		pair := func(le string) string {
+			if base == "" {
+				return fmt.Sprintf(`{le=%q}`, le)
+			}
+			return fmt.Sprintf(`{%s,le=%q}`, base, le)
+		}
+		cum := uint64(0)
+		var werr error
+		m.forEachBucket(func(upper float64, count uint64) {
+			cum += count
+			if werr != nil || math.IsInf(upper, 1) {
+				return // the +Inf series is closed once, below
+			}
+			_, werr = fmt.Fprintf(w, "%s_bucket%s %d\n", name, pair(formatFloat(upper)), cum)
+		})
+		if werr != nil {
+			return werr
+		}
+		// Close with the mandatory +Inf bucket. A racing Observe bumps
+		// the bucket word before the count word, so take the larger of
+		// the two views to keep the series cumulative.
+		total := m.Count()
+		if cum > total {
+			total = cum
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, pair("+Inf"), total); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, labels, formatFloat(m.Sum())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, labels, total)
+		return err
 	default:
 		return fmt.Errorf("obs: unknown metric type %T", m)
 	}
@@ -192,6 +230,18 @@ func metricValue(m any) any {
 		}
 		buckets["+Inf"] = m.Count()
 		return map[string]any{"count": m.Count(), "sum": m.Sum(), "buckets": buckets}
+	case *LogHistogram:
+		// The JSON view reports the estimated quantiles directly — the
+		// payload a CLI summary or the density harness wants — instead
+		// of ~500 bucket lines.
+		return map[string]any{
+			"count": m.Count(),
+			"sum":   m.Sum(),
+			"p50":   m.Quantile(0.50),
+			"p90":   m.Quantile(0.90),
+			"p95":   m.Quantile(0.95),
+			"p99":   m.Quantile(0.99),
+		}
 	default:
 		return nil
 	}

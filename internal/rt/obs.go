@@ -1,6 +1,7 @@
 package rt
 
 import (
+	"sort"
 	"strconv"
 
 	"repro/internal/obs"
@@ -29,6 +30,11 @@ type rtObs struct {
 	dvfs      *obs.Counter
 	energy    *obs.Counter
 	residual  *obs.Counter
+
+	execSecs       *obs.LogHistogramVec // per-class execution latency
+	classBusy      *obs.CounterVec
+	classEnergy    *obs.CounterVec
+	overheadEnergy *obs.Counter
 
 	census []*obs.Gauge // by frequency level
 
@@ -63,6 +69,14 @@ func newRTObs(reg *obs.Registry, levels int) rtObs {
 			"Modeled energy consumed by the live runtime (joules)."),
 		residual: reg.Counter("eewa_rt_energy_residual_seconds_total",
 			"Worker-seconds the energy accounting clipped because modeled states overran the measured wall (should stay ~0)."),
+		execSecs: reg.LogHistogramVec("eewa_rt_task_exec_seconds",
+			"Per-task execution latency (duty-cycle stretched), by task class.", "class"),
+		classBusy: reg.CounterVec("eewa_rt_class_busy_seconds_total",
+			"Worker-seconds executing payloads, attributed by task class.", "class"),
+		classEnergy: reg.CounterVec("eewa_rt_energy_class_joules_total",
+			"Busy-state energy attributed by task class (joules).", "class"),
+		overheadEnergy: reg.Counter("eewa_rt_energy_overhead_joules_total",
+			"Batch energy not attributable to any task class: work search, dry spin, barrier halt and base draw (joules)."),
 		adjInv: reg.Counter("eewa_rt_adjuster_invocations_total",
 			"Invocations of the workload-aware frequency adjuster."),
 		adjHost: reg.Counter("eewa_rt_adjuster_host_seconds_total",
@@ -83,6 +97,16 @@ func newRTObs(reg *obs.Registry, levels int) rtObs {
 			"Runtime invariant violations detected by internal/check, by invariant.", "invariant")
 	}
 	return o
+}
+
+// execHist returns the per-class execution-latency histogram handle, or
+// nil when the registry is disabled. Workers fetch it once per class
+// (paying the family mutex there) and then Observe lock-free per task.
+func (o *rtObs) execHist(class string) *obs.LogHistogram {
+	if o.reg == nil {
+		return nil
+	}
+	return o.execSecs.With(class)
 }
 
 // violation counts one invariant violation (no-op without a registry).
@@ -107,6 +131,27 @@ func (o *rtObs) observeBatch(bs BatchStats, busy, idle, barrier float64, depths 
 	o.barrierSecs.Add(barrier)
 	o.energy.Add(bs.Energy)
 	o.residual.Add(bs.Residual)
+	if len(bs.Classes) > 0 {
+		attributed := 0.0
+		// Sorted iteration keeps first-registration child order (and so
+		// the Prometheus export) deterministic across runs.
+		names := make([]string, 0, len(bs.Classes))
+		for name := range bs.Classes {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			cs := bs.Classes[name]
+			o.classBusy.With(name).Add(cs.BusySecs)
+			o.classEnergy.With(name).Add(cs.EnergyJ)
+			attributed += cs.EnergyJ
+		}
+		if over := bs.Energy - attributed; over > 0 {
+			o.overheadEnergy.Add(over)
+		}
+	} else {
+		o.overheadEnergy.Add(bs.Energy)
+	}
 	for _, d := range depths {
 		o.poolDepth.Observe(float64(d))
 	}

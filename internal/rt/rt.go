@@ -185,6 +185,22 @@ type WorkerSecs struct {
 	Residual float64
 }
 
+// ClassStats is one task class's share of a batch: executed tasks,
+// duty-cycle-stretched busy seconds, and the busy-state energy those
+// seconds drew at the executing workers' frequency levels. Summed over
+// classes, EnergyJ is the attributable part of BatchStats.Energy; the
+// remainder (search, dry spin, barrier halt, base draw) is scheduling
+// overhead no single class caused.
+type ClassStats struct {
+	// Tasks is the number of payloads of this class that ran (cancelled
+	// tasks are not counted).
+	Tasks int
+	// BusySecs is the summed duty-cycle-stretched execution time.
+	BusySecs float64
+	// EnergyJ is the busy-state energy integral over BusySecs.
+	EnergyJ float64
+}
+
 // BatchStats summarizes one batch.
 type BatchStats struct {
 	// Wall is the batch's wall-clock duration.
@@ -207,6 +223,10 @@ type BatchStats struct {
 	Workers []WorkerSecs
 	// Residual is the summed per-worker accounting residual (seconds).
 	Residual float64
+	// Classes attributes execution time and busy energy to each task
+	// class that ran in the batch — the per-class half of the energy
+	// attribution the serving layer turns into per-tenant counters.
+	Classes map[string]ClassStats
 }
 
 // RunStats accumulates across batches.
@@ -373,12 +393,18 @@ func (r *Runtime) RunBatch(tasks []Task) BatchStats {
 		cancelled atomic.Int64
 		dvfs      atomic.Int64
 		remain    atomic.Int64
-		busyNS = make([]atomic.Int64, n)
-		spinNS = make([]atomic.Int64, n) // out-of-work spin at idleLevels[w]
-		idleNS = make([]atomic.Int64, n) // work-search lead-in at levels[w]
+		busyNS    = make([]atomic.Int64, n)
+		spinNS    = make([]atomic.Int64, n) // out-of-work spin at idleLevels[w]
+		idleNS    = make([]atomic.Int64, n) // work-search lead-in at levels[w]
 	)
 	idleLevels := make([]int, n)
 	copy(idleLevels, r.levels)
+	// Per-worker class attribution: each worker owns its map (no
+	// contention in the hot loop); the per-class histogram handle is
+	// resolved once per class per worker, after which Observe is a
+	// lock-free atomic add. Folded into BatchStats.Classes at the
+	// barrier.
+	classAggs := make([]map[string]*classAgg, n)
 	remain.Store(int64(len(tasks)))
 	start := time.Now()
 
@@ -388,6 +414,8 @@ func (r *Runtime) RunBatch(tasks []Task) BatchStats {
 		go func(id int) {
 			defer wg.Done()
 			rng := xrand.New(r.cfg.Seed + uint64(id)*0x9E3779B97F4A7C15 + uint64(r.batchIndex))
+			aggs := map[string]*classAgg{}
+			classAggs[id] = aggs
 			myG := r.asn.CoreGroup[id]
 			level := r.levels[id]
 			ratio := r.ladder.Ratio(level)
@@ -448,6 +476,14 @@ func (r *Runtime) RunBatch(tasks []Task) BatchStats {
 				}
 				wall := time.Duration(float64(dur) * ratio)
 				busyNS[id].Add(int64(wall))
+				a := aggs[t.Class]
+				if a == nil {
+					a = &classAgg{hist: r.ro.execHist(t.Class)}
+					aggs[t.Class] = a
+				}
+				a.secs += wall.Seconds()
+				a.tasks++
+				a.hist.Observe(wall.Seconds())
 
 				r.profMu.Lock()
 				r.prof.Record(t.Class, wall.Seconds(), level, 0)
@@ -476,9 +512,18 @@ func (r *Runtime) RunBatch(tasks []Task) BatchStats {
 	pm := r.cfg.Machine.Power
 	energy := pm.Base * wall.Seconds()
 	workers := make([]WorkerSecs, n)
+	classes := make(map[string]ClassStats, 4)
 	var busyTot, spinTot, haltTot, residTot float64
 	for w := 0; w < n; w++ {
 		level := r.levels[w]
+		busyPower := pm.CorePower(machine.Busy, level, level, r.ladder)
+		for name, a := range classAggs[w] {
+			cs := classes[name]
+			cs.Tasks += a.tasks
+			cs.BusySecs += a.secs
+			cs.EnergyJ += a.secs * busyPower
+			classes[name] = cs
+		}
 		busy := time.Duration(busyNS[w].Load()).Seconds()
 		search := time.Duration(idleNS[w].Load()).Seconds()
 		dry := time.Duration(spinNS[w].Load()).Seconds()
@@ -495,7 +540,7 @@ func (r *Runtime) RunBatch(tasks []Task) BatchStats {
 		residTot += residual
 		// The live runtime has no package topology: use own-level
 		// voltage (PackageSize 1 semantics).
-		energy += busy * pm.CorePower(machine.Busy, level, level, r.ladder)
+		energy += busy * busyPower
 		energy += search * pm.CorePower(machine.Spinning, level, level, r.ladder)
 		energy += dry * pm.CorePower(machine.Spinning, idleLevels[w], idleLevels[w], r.ladder)
 		energy += halt * pm.CorePower(machine.Halted, level, level, r.ladder)
@@ -517,6 +562,7 @@ func (r *Runtime) RunBatch(tasks []Task) BatchStats {
 		Energy:    energy,
 		Workers:   workers,
 		Residual:  residTot,
+		Classes:   classes,
 	}
 	r.stats.Batches++
 	r.stats.Tasks += len(tasks)
@@ -541,6 +587,16 @@ func (r *Runtime) RunBatch(tasks []Task) BatchStats {
 		h(bi, bs)
 	}
 	return bs
+}
+
+// classAgg is one worker's running attribution for one task class: the
+// stretched busy seconds and task count, plus the worker's cached
+// handle on the class's execution-latency histogram (nil when
+// observability is off — Observe on a nil handle no-ops).
+type classAgg struct {
+	secs  float64
+	tasks int
+	hist  *obs.LogHistogram
 }
 
 // execCounts copies the atomic per-task execution counters into the

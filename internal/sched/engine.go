@@ -41,6 +41,34 @@ type engineObs struct {
 	searchSteps   *obs.Histogram
 	makespan      *obs.Gauge
 	runs          *obs.Counter
+
+	// Per-class task distributions: wait is batch start → execution
+	// start, latency is batch start → completion. Children are resolved
+	// once per class through class() and cached — the event loop is
+	// single-threaded, so a plain map suffices and the family mutex is
+	// paid once per class per run.
+	taskWait  *obs.LogHistogramVec
+	taskLat   *obs.LogHistogramVec
+	classHist map[string]classHandles
+}
+
+// classHandles caches one class's resolved histogram children.
+type classHandles struct {
+	wait, lat *obs.LogHistogram
+}
+
+// class returns the cached histogram handles for a task class (zero
+// handles when no registry is attached — Observe on nil no-ops).
+func (o *engineObs) class(name string) classHandles {
+	if o.reg == nil {
+		return classHandles{}
+	}
+	h, ok := o.classHist[name]
+	if !ok {
+		h = classHandles{wait: o.taskWait.With(name), lat: o.taskLat.With(name)}
+		o.classHist[name] = h
+	}
+	return h
 }
 
 // newEngineObs registers the simulator's metric families on reg and
@@ -68,6 +96,11 @@ func newEngineObs(reg *obs.Registry, levels int) engineObs {
 		searchSteps:  reg.Histogram("eewa_sim_adjuster_search_steps", "Select attempts per Algorithm 1 tuple search.", obs.ExpBuckets(1, 2, 11)),
 		makespan:     reg.Gauge("eewa_sim_makespan_seconds", "Makespan of the most recent run."),
 		runs:         reg.Counter("eewa_sim_runs_total", "Completed simulation runs."),
+		taskWait: reg.LogHistogramVec("eewa_sim_task_wait_seconds",
+			"Simulated wait from batch start to execution start, by task class.", "class"),
+		taskLat: reg.LogHistogramVec("eewa_sim_task_latency_seconds",
+			"Simulated latency from batch start to completion, by task class.", "class"),
+		classHist: map[string]classHandles{},
 	}
 	attemptVec := reg.CounterVec("eewa_sim_steal_attempts_total", "Remote pool probes by victim c-group.", "victim_group")
 	stealVec := reg.CounterVec("eewa_sim_steals_total", "Successful remote steals by victim c-group.", "victim_group")
@@ -400,6 +433,11 @@ func (e *engine) complete(c int, t *task.Task, exec float64, level int) {
 	now := e.q.Now()
 	if e.params.Recorder != nil {
 		e.params.Recorder.Record(c, now-exec, now, t.Class, level)
+	}
+	if e.eo.reg != nil {
+		h := e.eo.class(t.Class)
+		h.wait.Observe(now - exec - e.batchStart)
+		h.lat.Observe(now - e.batchStart)
 	}
 	e.prof.Record(t.Class, exec, level, t.CacheMissIntensity)
 	e.remaining--

@@ -89,6 +89,34 @@ func TestObsIntegration(t *testing.T) {
 		t.Error("search-steps histogram saw no backtracking work")
 	}
 
+	// Per-class wait/latency histograms: together the class children see
+	// every executed task, latency dominates wait per class, and the
+	// quantiles are positive and ordered.
+	waitCount, latCount := uint64(0), uint64(0)
+	for _, s := range b.Specs {
+		wh, ok := reg.At("eewa_sim_task_wait_seconds", s.Name).(*obs.LogHistogram)
+		if !ok {
+			t.Fatalf("no wait histogram child for class %s", s.Name)
+		}
+		lh, ok := reg.At("eewa_sim_task_latency_seconds", s.Name).(*obs.LogHistogram)
+		if !ok {
+			t.Fatalf("no latency histogram child for class %s", s.Name)
+		}
+		waitCount += wh.Count()
+		latCount += lh.Count()
+		p50, p99 := lh.Quantile(0.50), lh.Quantile(0.99)
+		if !(p50 > 0 && p50 <= p99) {
+			t.Errorf("class %s: latency p50 = %g, p99 = %g", s.Name, p50, p99)
+		}
+		// A task's latency includes its wait, so per-class means order.
+		if wh.Mean() > lh.Mean() {
+			t.Errorf("class %s: mean wait %g > mean latency %g", s.Name, wh.Mean(), lh.Mean())
+		}
+	}
+	if want := uint64(totalTasks(b)); waitCount != want || latCount != want {
+		t.Errorf("class histogram counts = %d/%d, want %d", waitCount, latCount, want)
+	}
+
 	// The event stream carries batch and adjust events.
 	names := map[string]int{}
 	for _, e := range ring.Events() {

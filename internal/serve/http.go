@@ -34,7 +34,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	if s.cfg.Obs != nil {
-		oh := obs.Handler(s.cfg.Obs)
+		oh := obs.HandlerWith(s.cfg.Obs, obs.HandlerOptions{Pprof: true, GoRuntime: s.cfg.GoMetrics})
 		mux.Handle("/metrics", oh)
 		mux.Handle("/debug/", oh)
 	}

@@ -47,9 +47,14 @@ type JobResult struct {
 	Batch    int     `json:"batch"`
 	QueueMS  float64 `json:"queue_ms"`
 	BatchMS  float64 `json:"batch_ms"`
-	EnergyJ  float64 `json:"energy_j"`
-	Steals   int     `json:"steals"`
-	Policy   string  `json:"policy"`
+	// EnergyJ is the whole batch's modeled energy (the iteration this
+	// job rode in); EnergyAttrJ is the slice attributed to this job:
+	// its class's busy-state energy, split pro rata by executed tasks
+	// among the batch's jobs of the same class.
+	EnergyJ     float64 `json:"energy_j"`
+	EnergyAttrJ float64 `json:"energy_attr_j"`
+	Steals      int     `json:"steals"`
+	Policy      string  `json:"policy"`
 }
 
 // outcome is what the batcher reports back to the waiting HTTP
@@ -73,6 +78,15 @@ type job struct {
 	ran       atomic.Int64 // payloads actually executed
 	cancelled atomic.Bool  // set by the handler on deadline/disconnect
 	done      chan outcome // buffered; exactly one send, by the batcher
+
+	// Span edges inside the batch, recorded by the task closures (unix
+	// nanos; 0 = no payload ran). With enqueued and started above they
+	// delimit the request span's phases:
+	//
+	//	admission ──queue──▶ batch formation ──batch wait──▶ first
+	//	payload ──execute──▶ last payload ──▶ complete
+	firstStart atomic.Int64
+	lastEnd    atomic.Int64
 }
 
 func (j *job) expiredBy(now time.Time) bool {
@@ -185,7 +199,18 @@ func (s *Server) newJob(req JobRequest) (*job, error) {
 		}
 		j.tasks = append(j.tasks, rt.Task{
 			Class: req.Func,
-			Run:   func() { run(); j.ran.Add(1) },
+			Run: func() {
+				j.firstStart.CompareAndSwap(0, time.Now().UnixNano())
+				run()
+				j.ran.Add(1)
+				end := time.Now().UnixNano()
+				for {
+					old := j.lastEnd.Load()
+					if end <= old || j.lastEnd.CompareAndSwap(old, end) {
+						break
+					}
+				}
+			},
 			// Withdraw the task if the handler cancelled the job or its
 			// deadline expired after the batch formed but before this
 			// task started.

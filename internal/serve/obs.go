@@ -21,6 +21,18 @@ type serveObs struct {
 
 	tasksRun       *obs.Counter
 	tasksCancelled *obs.Counter
+
+	// Request-span phase distributions, keyed by task class (the kernel
+	// function) and tenant. Log-bucketed: one family covers µs queue
+	// waits and multi-second saturated batches alike.
+	spanQueue *obs.LogHistogramVec
+	spanBatch *obs.LogHistogramVec
+	spanExec  *obs.LogHistogramVec
+	spanE2E   *obs.LogHistogramVec
+
+	// tenantEnergy is the per-tenant share of the runtime's class-level
+	// busy energy, split pro rata by executed tasks.
+	tenantEnergy *obs.CounterVec
 }
 
 func newServeObs(reg *obs.Registry) serveObs {
@@ -50,5 +62,15 @@ func newServeObs(reg *obs.Registry) serveObs {
 			"Task payloads executed."),
 		tasksCancelled: reg.Counter("eewa_serve_tasks_cancelled_total",
 			"Tasks withdrawn mid-batch through the cancellation hook."),
+		spanQueue: reg.LogHistogramVec("eewa_serve_queue_wait_seconds",
+			"Request span, queue phase: admission to batch formation.", "class", "tenant"),
+		spanBatch: reg.LogHistogramVec("eewa_serve_batch_wait_seconds",
+			"Request span, batch-wait phase: batch formation to the job's first payload start (planning, placement, pool wait).", "class", "tenant"),
+		spanExec: reg.LogHistogramVec("eewa_serve_exec_seconds",
+			"Request span, execute phase: the job's first payload start to its last payload end.", "class", "tenant"),
+		spanE2E: reg.LogHistogramVec("eewa_serve_e2e_seconds",
+			"Request span, end to end: admission to outcome delivery.", "class", "tenant"),
+		tenantEnergy: reg.CounterVec("eewa_serve_energy_tenant_joules_total",
+			"Busy-state energy attributed to each tenant's executed tasks (joules).", "tenant"),
 	}
 }

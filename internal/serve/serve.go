@@ -86,6 +86,11 @@ type Config struct {
 	// Obs, when non-nil, receives the eewa_serve_* metrics and is also
 	// wired into the runtime (eewa_rt_*).
 	Obs *obs.Registry
+	// GoMetrics additionally bridges runtime/metrics (goroutines, heap,
+	// GC pauses, scheduling latency) into the /metrics and /debug/vars
+	// endpoints as eewa_go_* gauges. Off by default; it only matters
+	// when Obs is set.
+	GoMetrics bool
 	// Invariants enables the runtime's internal/check batch invariants
 	// (task conservation, energy identity, plan feasibility).
 	Invariants bool
@@ -151,6 +156,13 @@ type Server struct {
 
 	jobSeq uint64
 	so     serveObs
+
+	// latE2E and latQueue aggregate end-to-end and queue-wait latency
+	// across every class and tenant, for LatencySummary. They are plain
+	// LogHistograms (not registry families), so they work — and cost
+	// nothing extra — whether or not Obs is set.
+	latE2E   obs.LogHistogram
+	latQueue obs.LogHistogram
 
 	// arena recycles the per-batch []rt.Task slab across flushes; only
 	// the batcher goroutine leases from it, and the slab is returned
@@ -368,20 +380,51 @@ func (s *Server) flushOnce() bool {
 	s.so.tasksRun.Add(float64(bs.Tasks - bs.Cancelled))
 	s.so.tasksCancelled.Add(float64(bs.Cancelled))
 
+	// Per-tenant energy attribution: the runtime reports each class's
+	// busy-state energy (rt.ClassStats); split every class's share
+	// among the batch's jobs of that class, pro rata by executed
+	// tasks. The barrier has passed, so j.ran is final.
+	classRan := map[string]int{}
+	for _, j := range batch {
+		classRan[j.req.Func] += int(j.ran.Load())
+	}
+
+	done := time.Now()
 	for _, j := range batch {
 		ran := int(j.ran.Load())
+		var attr float64
+		if cs, ok := bs.Classes[j.req.Func]; ok && classRan[j.req.Func] > 0 {
+			attr = cs.EnergyJ * float64(ran) / float64(classRan[j.req.Func])
+		}
+		s.so.tenantEnergy.With(j.tenant).Add(attr)
+
+		// Close the request span: queue, batch-wait and execute phases,
+		// then end to end. Jobs whose every task was withdrawn have no
+		// payload timestamps and record only queue + e2e.
+		queueWait := j.started.Sub(j.enqueued).Seconds()
+		s.so.spanQueue.With(j.req.Func, j.tenant).Observe(queueWait)
+		if fs := j.firstStart.Load(); fs > 0 {
+			s.so.spanBatch.With(j.req.Func, j.tenant).Observe(float64(fs-j.started.UnixNano()) / 1e9)
+			s.so.spanExec.With(j.req.Func, j.tenant).Observe(float64(j.lastEnd.Load()-fs) / 1e9)
+		}
+		e2e := done.Sub(j.enqueued).Seconds()
+		s.so.spanE2E.With(j.req.Func, j.tenant).Observe(e2e)
+		s.latE2E.Observe(e2e)
+		s.latQueue.Observe(queueWait)
+
 		res := JobResult{
-			Job:      j.id,
-			Tenant:   j.tenant,
-			Func:     j.req.Func,
-			Tasks:    len(j.tasks),
-			TasksRun: ran,
-			Batch:    batchIdx,
-			QueueMS:  j.started.Sub(j.enqueued).Seconds() * 1e3,
-			BatchMS:  bs.Wall.Seconds() * 1e3,
-			EnergyJ:  bs.Energy,
-			Steals:   bs.Steals,
-			Policy:   s.cfg.Policy,
+			Job:         j.id,
+			Tenant:      j.tenant,
+			Func:        j.req.Func,
+			Tasks:       len(j.tasks),
+			TasksRun:    ran,
+			Batch:       batchIdx,
+			QueueMS:     queueWait * 1e3,
+			BatchMS:     bs.Wall.Seconds() * 1e3,
+			EnergyJ:     bs.Energy,
+			EnergyAttrJ: attr,
+			Steals:      bs.Steals,
+			Policy:      s.cfg.Policy,
 		}
 		if ran < len(j.tasks) {
 			// Some tasks were withdrawn mid-batch (deadline or client
@@ -401,6 +444,37 @@ func (s *Server) flushOnce() bool {
 	}
 	s.arena.Put(all)
 	return true
+}
+
+// LatencySummary is the point-in-time percentile view of the service's
+// request latency, aggregated over every class and tenant since start.
+// All values are seconds.
+type LatencySummary struct {
+	Jobs     uint64  `json:"jobs"`
+	E2EMean  float64 `json:"e2e_mean_s"`
+	E2EP50   float64 `json:"e2e_p50_s"`
+	E2EP95   float64 `json:"e2e_p95_s"`
+	E2EP99   float64 `json:"e2e_p99_s"`
+	QueueP50 float64 `json:"queue_p50_s"`
+	QueueP95 float64 `json:"queue_p95_s"`
+	QueueP99 float64 `json:"queue_p99_s"`
+}
+
+// LatencySummary snapshots the end-to-end and queue-wait distributions.
+// It covers every job a batch processed (completed or timed out); jobs
+// dropped unstarted are excluded. Safe to call concurrently with the
+// batcher — the histograms are lock-free.
+func (s *Server) LatencySummary() LatencySummary {
+	return LatencySummary{
+		Jobs:     s.latE2E.Count(),
+		E2EMean:  s.latE2E.Mean(),
+		E2EP50:   s.latE2E.Quantile(0.50),
+		E2EP95:   s.latE2E.Quantile(0.95),
+		E2EP99:   s.latE2E.Quantile(0.99),
+		QueueP50: s.latQueue.Quantile(0.50),
+		QueueP95: s.latQueue.Quantile(0.95),
+		QueueP99: s.latQueue.Quantile(0.99),
+	}
 }
 
 // Drain stops admission, flushes every queued job into final batches,

@@ -374,3 +374,106 @@ func TestStatsEndpoint(t *testing.T) {
 	}
 	drain(t, s)
 }
+
+// TestRequestSpansAndEnergyAttribution submits jobs from two tenants
+// running different kernels and checks the span histograms, the
+// per-tenant energy attribution, JobResult.EnergyAttrJ and
+// LatencySummary.
+func TestRequestSpansAndEnergyAttribution(t *testing.T) {
+	reg := obs.NewRegistry()
+	s, ts := testServer(t, func(c *Config) {
+		c.Obs = reg
+		c.FlushEvery = 5 * time.Millisecond
+	})
+
+	type sub struct {
+		tenant, fn string
+	}
+	subs := []sub{{"acme", "sha1"}, {"acme", "lzw"}, {"globex", "sha1"}, {"globex", "dmc"}}
+	var wg sync.WaitGroup
+	results := make([]JobResult, len(subs))
+	for i, sb := range subs {
+		wg.Add(1)
+		go func(i int, sb sub) {
+			defer wg.Done()
+			resp, body := submit(t, ts.URL, JobRequest{
+				Tenant: sb.tenant, Func: sb.fn, Count: 4, SizeBytes: 4096, Seed: uint64(i),
+			})
+			if resp.StatusCode != 200 {
+				t.Errorf("submit %v: status %d: %s", sb, resp.StatusCode, body)
+				return
+			}
+			if err := json.Unmarshal(body, &results[i]); err != nil {
+				t.Error(err)
+			}
+		}(i, sb)
+	}
+	wg.Wait()
+	drain(t, s)
+
+	totalAttr := 0.0
+	for i, res := range results {
+		if res.EnergyAttrJ <= 0 || res.EnergyAttrJ > res.EnergyJ {
+			t.Errorf("job %d: EnergyAttrJ = %g, EnergyJ = %g", i, res.EnergyAttrJ, res.EnergyJ)
+		}
+		totalAttr += res.EnergyAttrJ
+	}
+	if total := s.Runtime().Stats().Energy; totalAttr <= 0 || totalAttr > total {
+		t.Errorf("attributed %g J exceeds total %g J", totalAttr, total)
+	}
+
+	// Span histograms: every (class, tenant) child that completed a job
+	// has queue and e2e observations; exec spans exist where payloads ran.
+	for _, sb := range subs {
+		h, ok := reg.At("eewa_serve_e2e_seconds", sb.fn, sb.tenant).(*obs.LogHistogram)
+		if !ok || h.Count() == 0 {
+			t.Errorf("no e2e span for %v", sb)
+			continue
+		}
+		if q := h.Quantile(0.99); q <= 0 {
+			t.Errorf("%v: e2e p99 = %g", sb, q)
+		}
+		if eh, ok := reg.At("eewa_serve_exec_seconds", sb.fn, sb.tenant).(*obs.LogHistogram); !ok || eh.Count() == 0 {
+			t.Errorf("no exec span for %v", sb)
+		}
+	}
+
+	// Tenant energy counters match the JobResult attribution.
+	vec := reg.CounterVec("eewa_serve_energy_tenant_joules_total", "", "tenant")
+	got := vec.With("acme").Value() + vec.With("globex").Value()
+	if diff := got - totalAttr; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("tenant counters sum %g, job attributions sum %g", got, totalAttr)
+	}
+
+	// LatencySummary covers all four jobs with ordered quantiles.
+	sum := s.LatencySummary()
+	if sum.Jobs != uint64(len(subs)) {
+		t.Errorf("summary jobs = %d, want %d", sum.Jobs, len(subs))
+	}
+	if !(sum.E2EP50 > 0 && sum.E2EP50 <= sum.E2EP95 && sum.E2EP95 <= sum.E2EP99) {
+		t.Errorf("e2e quantiles out of order: %+v", sum)
+	}
+	if sum.QueueP99 < sum.QueueP50 {
+		t.Errorf("queue quantiles out of order: %+v", sum)
+	}
+
+	// The spans and attribution counters reach the Prometheus export.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	out := string(body)
+	for _, want := range []string{
+		"# TYPE eewa_serve_e2e_seconds histogram",
+		"# TYPE eewa_serve_queue_wait_seconds histogram",
+		`eewa_serve_e2e_seconds_count{class="sha1",tenant="acme"}`,
+		`eewa_serve_energy_tenant_joules_total{tenant="globex"}`,
+		`eewa_rt_energy_class_joules_total{class="dmc"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("export missing %q", want)
+		}
+	}
+}

@@ -51,56 +51,99 @@ type Span struct {
 
 // Recorder accumulates spans. It satisfies the sched.Recorder hook (and
 // the extended sched.SpanRecorder hook, so the engine also hands it
-// steal and idle intervals). The zero value is ready to use.
+// steal and idle intervals). The zero value is ready to use and retains
+// every span; set MaxSpans before recording to bound memory.
 type Recorder struct {
-	Spans []Span
+	// MaxSpans, when > 0, caps the retained spans. Once the cap is
+	// reached each new span evicts the oldest (drop-oldest), so a
+	// long-running recording keeps the most recent window at a fixed
+	// ~56 bytes per span; evictions are counted in Dropped. 0 keeps
+	// everything (the historical behavior).
+	MaxSpans int
+
+	spans   []Span
+	head    int // ring start once the cap is reached
+	dropped uint64
+}
+
+// add appends a span, evicting the oldest when the cap is reached.
+func (r *Recorder) add(s Span) {
+	if r.MaxSpans > 0 && len(r.spans) >= r.MaxSpans {
+		r.spans[r.head] = s
+		r.head = (r.head + 1) % len(r.spans)
+		r.dropped++
+		return
+	}
+	r.spans = append(r.spans, s)
+}
+
+// forEach visits every retained span in recording (chronological)
+// order.
+func (r *Recorder) forEach(fn func(Span)) {
+	for i := r.head; i < len(r.spans); i++ {
+		fn(r.spans[i])
+	}
+	for i := 0; i < r.head; i++ {
+		fn(r.spans[i])
+	}
+}
+
+// Len returns the number of retained spans.
+func (r *Recorder) Len() int { return len(r.spans) }
+
+// Dropped returns how many spans the MaxSpans cap has evicted.
+func (r *Recorder) Dropped() uint64 { return r.dropped }
+
+// All returns the retained spans in recording order (a copy).
+func (r *Recorder) All() []Span {
+	out := make([]Span, 0, len(r.spans))
+	r.forEach(func(s Span) { out = append(out, s) })
+	return out
 }
 
 // Record implements the scheduler's trace hook: one task execution.
 func (r *Recorder) Record(core int, start, end float64, label string, level int) {
-	r.Spans = append(r.Spans, Span{Core: core, Start: start, End: end, Label: label, Level: level, Kind: KindExec})
+	r.add(Span{Core: core, Start: start, End: end, Label: label, Level: level, Kind: KindExec})
 }
 
 // RecordSteal implements sched.SpanRecorder: the probe/steal lead-in
 // interval before a stolen task runs. label carries the victim c-group.
 func (r *Recorder) RecordSteal(core int, start, end float64, victimGroup int) {
-	r.Spans = append(r.Spans, Span{Core: core, Start: start, End: end, Label: "steal", Level: victimGroup, Kind: KindSteal})
+	r.add(Span{Core: core, Start: start, End: end, Label: "steal", Level: victimGroup, Kind: KindSteal})
 }
 
 // RecordIdle implements sched.SpanRecorder: the terminal wait at the
 // batch barrier.
 func (r *Recorder) RecordIdle(core int, start, end float64) {
-	r.Spans = append(r.Spans, Span{Core: core, Start: start, End: end, Label: "idle", Kind: KindIdle})
+	r.add(Span{Core: core, Start: start, End: end, Label: "idle", Kind: KindIdle})
 }
 
 // ExecSpans returns only the task-execution spans.
 func (r *Recorder) ExecSpans() []Span {
-	out := make([]Span, 0, len(r.Spans))
-	for _, s := range r.Spans {
+	out := make([]Span, 0, len(r.spans))
+	r.forEach(func(s Span) {
 		if s.Kind == KindExec {
 			out = append(out, s)
 		}
-	}
+	})
 	return out
 }
 
 // Makespan returns the latest span end (0 when empty).
 func (r *Recorder) Makespan() float64 {
 	m := 0.0
-	for _, s := range r.Spans {
+	r.forEach(func(s Span) {
 		if s.End > m {
 			m = s.End
 		}
-	}
+	})
 	return m
 }
 
 // cores returns the sorted distinct core IDs seen.
 func (r *Recorder) cores() []int {
 	seen := map[int]bool{}
-	for _, s := range r.Spans {
-		seen[s.Core] = true
-	}
+	r.forEach(func(s Span) { seen[s.Core] = true })
 	out := make([]int, 0, len(seen))
 	for c := range seen {
 		out = append(out, c)
@@ -156,36 +199,36 @@ func (r *Recorder) CSV(w io.Writer) error {
 	if _, err := fmt.Fprintln(w, "core,start,end,label,level,kind"); err != nil {
 		return err
 	}
-	for _, s := range r.Spans {
-		if _, err := fmt.Fprintf(w, "%d,%.9f,%.9f,%s,%d,%s\n", s.Core, s.Start, s.End, s.Label, s.Level, s.Kind); err != nil {
-			return err
+	var werr error
+	r.forEach(func(s Span) {
+		if werr != nil {
+			return
 		}
-	}
-	return nil
+		_, werr = fmt.Fprintf(w, "%d,%.9f,%.9f,%s,%d,%s\n", s.Core, s.Start, s.End, s.Label, s.Level, s.Kind)
+	})
+	return werr
 }
 
 // BusyTime returns the summed execution-span durations per core (steal
 // and idle intervals are excluded).
 func (r *Recorder) BusyTime() map[int]float64 {
 	out := map[int]float64{}
-	for _, s := range r.Spans {
-		if s.Kind != KindExec {
-			continue
+	r.forEach(func(s Span) {
+		if s.Kind == KindExec {
+			out[s.Core] += s.End - s.Start
 		}
-		out[s.Core] += s.End - s.Start
-	}
+	})
 	return out
 }
 
 // ClassTime returns the summed execution-span durations per task class.
 func (r *Recorder) ClassTime() map[string]float64 {
 	out := map[string]float64{}
-	for _, s := range r.Spans {
-		if s.Kind != KindExec {
-			continue
+	r.forEach(func(s Span) {
+		if s.Kind == KindExec {
+			out[s.Label] += s.End - s.Start
 		}
-		out[s.Label] += s.End - s.Start
-	}
+	})
 	return out
 }
 

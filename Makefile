@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-check sweep sweep-parity check check-long cover experiments examples obs-demo serve-demo density density-smoke clean
+.PHONY: all build vet test race bench bench-check sweep sweep-parity cluster-sweep cluster-demo check check-long cover experiments examples obs-demo serve-demo density density-smoke clean
 
 all: build vet test
 
@@ -30,19 +30,37 @@ bench:
 bench-check:
 	$(GO) run ./cmd/eewa-benchjson -check-only
 
-# Design-space sweep across all cores (-j 0 = GOMAXPROCS).
+# Design-space sweep across all cores (-j defaults to GOMAXPROCS).
 sweep:
-	$(GO) run ./cmd/eewa-sweep -j 0 -csv sweep.csv -json sweep_cells.json
+	$(GO) run ./cmd/eewa-sweep -csv sweep.csv -json sweep_cells.json
 
 # Determinism gate for the parallel sweep driver: the same small grid
 # run sequentially and with maximal fan-out must produce byte-identical
 # CSVs (per-cell wall-clock lives only in the JSON output).
 sweep-parity:
 	$(GO) run ./cmd/eewa-sweep -j 1 -bench md5,lzw -cores 8,16 -seeds 2 -csv sweep_j1.csv
-	$(GO) run ./cmd/eewa-sweep -j 0 -bench md5,lzw -cores 8,16 -seeds 2 -csv sweep_jN.csv
+	$(GO) run ./cmd/eewa-sweep -bench md5,lzw -cores 8,16 -seeds 2 -csv sweep_jN.csv
 	cmp sweep_j1.csv sweep_jN.csv
 	rm -f sweep_j1.csv sweep_jN.csv
 	@echo "sweep parity OK: -j 1 and -j GOMAXPROCS byte-identical"
+
+# Cluster topology sweep: shard count × ladder split × routing policy.
+cluster-sweep:
+	$(GO) run ./cmd/eewa-sweep -cluster -csv cluster.csv -json cluster_cells.json
+
+# Cluster smoke for CI: a 3-shard tiered router survives a demo burst
+# and drains cleanly, and a small cluster sweep is byte-identical
+# across worker counts (the -cluster parity acceptance clause).
+cluster-demo:
+	$(GO) run ./cmd/eewa-serve -demo -shards 3 -routing class -ladder-split tiered \
+		-flush-ms 10 -queue-depth 24 -max-inflight 96
+	$(GO) run ./cmd/eewa-sweep -cluster -j 1 -bench md5,lzw -cores 8 -seeds 2 \
+		-shards 1,2,4 -routing class,rr,least -csv cluster_j1.csv
+	$(GO) run ./cmd/eewa-sweep -cluster -bench md5,lzw -cores 8 -seeds 2 \
+		-shards 1,2,4 -routing class,rr,least -csv cluster_jN.csv
+	cmp cluster_j1.csv cluster_jN.csv
+	rm -f cluster_j1.csv cluster_jN.csv
+	@echo "cluster demo OK: 3-shard drain clean, cluster sweep -j parity byte-identical"
 
 # Concurrency-correctness harness, tier-1 budget: the deque model
 # checker (with its mutant self-test), the short stress mode and the
@@ -115,3 +133,4 @@ clean:
 	$(GO) clean ./...
 	rm -f test_output.txt bench_output.txt obs_metrics.prom obs_trace.json serve_metrics.prom
 	rm -f sweep.csv sweep_cells.json sweep_j1.csv sweep_jN.csv
+	rm -f cluster.csv cluster_cells.json cluster_j1.csv cluster_jN.csv

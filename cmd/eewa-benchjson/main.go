@@ -2,14 +2,20 @@
 // and writes a machine-readable benchmark record (BENCH_sched.json),
 // optionally checking it against a committed baseline.
 //
-// Two numbers per policy gate the build:
+// Three gates on the build:
 //
 //   - makespan/energy are deterministic sim outputs and must match the
 //     baseline almost exactly — a drift means the scheduler's decisions
 //     changed;
 //   - tasks_per_sec is host throughput of the simulator, normalized to
 //     the cilk policy of the *same run* so machine speed cancels; the
-//     cilk-relative ratio may not regress more than -max-regress.
+//     cilk-relative ratio may not regress more than -max-regress;
+//   - the serve cell drives a single-shard routed job service
+//     closed-loop through its HTTP handler and normalizes its tasks/s
+//     against the same run's cilk sim throughput; the ratio may not
+//     regress more than -max-serve-regress (the router-overhead gate:
+//     the routing tier must stay within a few percent of the
+//     pre-router server this baseline was seeded from).
 //
 // Usage:
 //
@@ -19,19 +25,26 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"math"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/machine"
 	"repro/internal/policy"
 	"repro/internal/sched"
+	"repro/internal/serve"
 	"repro/internal/workloads"
 )
 
@@ -57,12 +70,25 @@ type PolicyRecord struct {
 	BytesPerTask  float64 `json:"bytes_per_task"`
 }
 
+// ServeRecord is the job service's throughput cell: a single-shard
+// routed server driven closed-loop through its HTTP handler (decode →
+// router → shard batcher → runtime → response).
+type ServeRecord struct {
+	TasksPerSec float64 `json:"tasks_per_sec"`
+	// NormThroughput is serve tasks/s over a cilk sim reference timed
+	// back-to-back within the same repetition, so host speed and load
+	// cancel; the router-overhead gate compares this ratio against the
+	// baseline's.
+	NormThroughput float64 `json:"norm_throughput"`
+}
+
 // Record is the whole benchmark file.
 type Record struct {
 	Benchmark string                  `json:"benchmark"`
 	Cores     int                     `json:"cores"`
 	Seeds     int                     `json:"seeds"`
 	Policies  map[string]PolicyRecord `json:"policies"`
+	Serve     *ServeRecord            `json:"serve,omitempty"`
 }
 
 func main() {
@@ -76,6 +102,9 @@ func main() {
 	baseline := flag.String("baseline", "", "baseline path (defaults to -out when it exists)")
 	maxRegress := flag.Float64("max-regress", 0.05, "max allowed relative drop in cilk-normalized throughput")
 	maxAllocRegress := flag.Float64("max-alloc-regress", 0.15, "max allowed relative growth in per-task heap allocations (geomean)")
+	maxServeRegress := flag.Float64("max-serve-regress", 0.03, "max allowed relative drop in the single-shard serve throughput cell (cilk-sim-normalized)")
+	serveMS := flag.Int("serve-ms", 600, "serve cell: closed-loop drive time per repetition, milliseconds (0 disables the cell)")
+	serveReps := flag.Int("serve-reps", 5, "serve cell: repetitions (fastest kept, like the sim cells)")
 	checkOnly := flag.Bool("check-only", false, "compare against the baseline without rewriting it")
 	flag.Parse()
 
@@ -83,13 +112,20 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *serveMS > 0 {
+		tps, norm, err := measureServe(*cores, time.Duration(*serveMS)*time.Millisecond, *serveReps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rec.Serve = &ServeRecord{TasksPerSec: tps, NormThroughput: norm}
+	}
 
 	basePath := *baseline
 	if basePath == "" {
 		basePath = *out
 	}
 	if prev, err := load(basePath); err == nil {
-		if err := check(prev, rec, *maxRegress, *maxAllocRegress); err != nil {
+		if err := check(prev, rec, *maxRegress, *maxAllocRegress, *maxServeRegress); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("baseline %s: all policies within %.0f%% of recorded throughput, %.0f%% of recorded allocs/task\n",
@@ -211,6 +247,99 @@ func measure(benchName string, cores, seeds, reps int) (*Record, error) {
 	return rec, nil
 }
 
+// measureServe drives a single-shard routed server closed-loop:
+// 2×workers submitters each keep one 8-task sha1 job outstanding
+// through the in-process HTTP handler for dur, then the server drains
+// and the rep's throughput is completed tasks over wall time. Each rep
+// also times a cilk sim reference back-to-back, so the normalized
+// ratio the gate compares is computed within one rep — host noise hits
+// both sides and cancels, exactly like the sim gate's within-rep
+// cilk-relative ratios. Returns the fastest rep's raw tasks/s and the
+// median within-rep ratio.
+func measureServe(workers int, dur time.Duration, reps int) (tps, norm float64, err error) {
+	bench, err := workloads.ByName("sha1")
+	if err != nil {
+		return 0, 0, err
+	}
+	cfg := machine.Generic(workers)
+	// simRef measures the cilk simulator's tasks/s under the host
+	// conditions of this rep (best of 3 back-to-back runs).
+	simRef := func() (float64, error) {
+		var best time.Duration
+		tasks := 0
+		for i := 0; i < 3; i++ {
+			w := bench.Workload(1)
+			p, err := policy.New(policy.IDCilk, cfg)
+			if err != nil {
+				return 0, err
+			}
+			start := time.Now()
+			if _, err := sched.Run(cfg, w, p, sched.DefaultParams()); err != nil {
+				return 0, err
+			}
+			if el := time.Since(start); best == 0 || el < best {
+				best = el
+			}
+			tasks = w.TotalTasks()
+		}
+		return float64(tasks) / best.Seconds(), nil
+	}
+
+	var seq atomic.Uint64
+	ratios := make([]float64, 0, reps)
+	for rep := 0; rep < reps; rep++ {
+		simRate, err := simRef()
+		if err != nil {
+			return 0, 0, err
+		}
+		srv, err := serve.New(serve.Config{
+			Workers:    workers,
+			Policy:     policy.IDCilk,
+			FlushEvery: 2 * time.Millisecond,
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		h := srv.Handler()
+		begin := time.Now()
+		stop := begin.Add(dur)
+		var wg sync.WaitGroup
+		for i := 0; i < 2*workers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for time.Now().Before(stop) {
+					body, _ := json.Marshal(serve.JobRequest{
+						Tenant: "bench", Func: "sha1",
+						Count: 8, SizeBytes: 4096,
+						Seed: seq.Add(1),
+					})
+					r := httptest.NewRequest(http.MethodPost, "/v1/jobs", bytes.NewReader(body))
+					h.ServeHTTP(httptest.NewRecorder(), r)
+				}
+			}()
+		}
+		wg.Wait()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		err = srv.Drain(ctx)
+		cancel()
+		if err != nil {
+			return 0, 0, err
+		}
+		wall := time.Since(begin).Seconds()
+		tasks := srv.Stats().Tasks
+		if tasks == 0 {
+			return 0, 0, fmt.Errorf("serve cell completed no tasks in %s", dur)
+		}
+		rate := float64(tasks) / wall
+		if rate > tps {
+			tps = rate
+		}
+		ratios = append(ratios, rate/simRate)
+	}
+	return tps, median(ratios), nil
+}
+
 func median(xs []float64) float64 {
 	s := append([]float64(nil), xs...)
 	sort.Float64s(s)
@@ -241,8 +370,10 @@ func load(path string) (*Record, error) {
 // beyond maxAllocRegress (an allocation on the task hot path moves
 // every policy's count together, just like a slowdown). The gates are
 // on the means, not per policy: an engine-level change is full signal,
-// while per-policy host jitter averages out.
-func check(base, cur *Record, maxRegress, maxAllocRegress float64) error {
+// while per-policy host jitter averages out. The serve cell gates
+// separately on maxServeRegress — router overhead shows up there and
+// nowhere else.
+func check(base, cur *Record, maxRegress, maxAllocRegress, maxServeRegress float64) error {
 	if base.Benchmark != cur.Benchmark || base.Cores != cur.Cores || base.Seeds != cur.Seeds {
 		fmt.Printf("baseline setup differs (%s/%d cores/%d seeds vs %s/%d/%d) — skipping comparison\n",
 			base.Benchmark, base.Cores, base.Seeds, cur.Benchmark, cur.Cores, cur.Seeds)
@@ -289,6 +420,16 @@ func check(base, cur *Record, maxRegress, maxAllocRegress float64) error {
 			return fmt.Errorf("sim allocations regressed %.1f%% (allocs/task geomean %.2f → %.2f), budget %.0f%%",
 				100*growth, baseA, curA, 100*maxAllocRegress)
 		}
+	}
+	if base.Serve != nil && cur.Serve != nil &&
+		base.Serve.NormThroughput > 0 && cur.Serve.NormThroughput > 0 {
+		if loss := 1 - cur.Serve.NormThroughput/base.Serve.NormThroughput; loss > maxServeRegress {
+			return fmt.Errorf("serve throughput regressed %.1f%% (sim-normalized %.3f → %.3f), budget %.0f%%",
+				100*loss, base.Serve.NormThroughput, cur.Serve.NormThroughput, 100*maxServeRegress)
+		}
+	} else if cur.Serve != nil && base.Serve == nil {
+		fmt.Printf("note: baseline has no serve cell — recording %.0f tasks/s (norm %.3f) fresh\n",
+			cur.Serve.TasksPerSec, cur.Serve.NormThroughput)
 	}
 	if n == 0 {
 		return nil

@@ -70,6 +70,7 @@ func main() {
 		batches    = flag.Int("batches", 3, "sim: batches per cell")
 		meanWorkUS = flag.Float64("mean-work-us", 150, "sim: mean task work in microseconds at F0")
 		loadMults  = flag.String("load-mults", "0.25,0.5,1,2,4,8", "serve sweep: offered load as multiples of calibrated capacity")
+		shardsList = flag.String("shards", "1", "serve sweep: comma-separated cluster widths (runtime shards behind the router)")
 		cellMS     = flag.Int("cell-ms", 1500, "serve: open-loop drive time per cell, milliseconds")
 		calibMS    = flag.Int("calib-ms", 500, "serve: closed-loop capacity calibration time, milliseconds")
 		jobTasks   = flag.Int("job-tasks", 8, "serve: tasks per submitted job")
@@ -94,6 +95,10 @@ func main() {
 	if err != nil {
 		log.Fatalf("-load-mults: %v", err)
 	}
+	shardCounts, err := parseInts(*shardsList)
+	if err != nil {
+		log.Fatalf("-shards: %v", err)
+	}
 
 	dbg := newSwapHandler()
 	if *debugAddr != "" {
@@ -117,23 +122,28 @@ func main() {
 			}
 		}
 		if engineSet["serve"] {
-			sc := serveSweep{
-				policy: pol, workers: *cores, seed: *seed,
-				jobTasks: *jobTasks, sizeBytes: *sizeBytes, fn: *funcName,
-				cellDur: time.Duration(*cellMS) * time.Millisecond,
-			}
-			capacity, err := sc.calibrate(time.Duration(*calibMS) * time.Millisecond)
-			if err != nil {
-				log.Fatalf("serve %s calibration: %v", pol, err)
-			}
-			log.Printf("serve/%-6s closed-loop capacity ~%.0f tasks/s", pol, capacity)
-			for _, mult := range multList {
-				cell, err := sc.cell(mult*capacity, dbg)
-				if err != nil {
-					log.Fatalf("serve %s load %.2fx: %v", pol, mult, err)
+			for _, shards := range shardCounts {
+				sc := serveSweep{
+					policy: pol, workers: *cores, shards: shards, seed: *seed,
+					jobTasks: *jobTasks, sizeBytes: *sizeBytes, fn: *funcName,
+					cellDur: time.Duration(*cellMS) * time.Millisecond,
 				}
-				logCell(cell)
-				rep.Add(cell)
+				// Capacity is calibrated per topology: a wider cluster
+				// absorbs more closed-loop load, and each width's open-loop
+				// steps should stress that width, not shards=1.
+				capacity, err := sc.calibrate(time.Duration(*calibMS) * time.Millisecond)
+				if err != nil {
+					log.Fatalf("serve %s shards %d calibration: %v", pol, shards, err)
+				}
+				log.Printf("serve/%-6s shards=%d closed-loop capacity ~%.0f tasks/s", pol, shards, capacity)
+				for _, mult := range multList {
+					cell, err := sc.cell(mult*capacity, dbg)
+					if err != nil {
+						log.Fatalf("serve %s shards %d load %.2fx: %v", pol, shards, mult, err)
+					}
+					logCell(cell)
+					rep.Add(cell)
+				}
 			}
 		}
 	}
@@ -144,8 +154,12 @@ func main() {
 		if k.Found {
 			status = "knee"
 		}
+		name := k.Policy
+		if k.Shards > 1 {
+			name = fmt.Sprintf("%s×%d", k.Policy, k.Shards)
+		}
 		log.Printf("%s/%-6s %s: %s at %s=%.4g (p99 %.3gs vs baseline %.3gs, threshold %.2gx)",
-			k.Engine, k.Policy, k.Axis, status, k.Axis, k.At, k.KneeP99, k.BaselineP99, k.Threshold)
+			k.Engine, name, k.Axis, status, k.Axis, k.At, k.KneeP99, k.BaselineP99, k.Threshold)
 	}
 
 	var buf bytes.Buffer
@@ -220,6 +234,7 @@ func simCell(pol string, cores, depth, batches int, meanWork float64, seed uint6
 type serveSweep struct {
 	policy    string
 	workers   int
+	shards    int
 	seed      uint64
 	jobTasks  int
 	sizeBytes int
@@ -234,6 +249,7 @@ func (sc *serveSweep) newServer(reg *obs.Registry) (*serve.Server, error) {
 		Workers:    sc.workers,
 		Policy:     sc.policy,
 		Seed:       sc.seed,
+		Shards:     sc.shards,
 		FlushEvery: 2 * time.Millisecond,
 		Obs:        reg,
 	})
@@ -335,11 +351,14 @@ func (sc *serveSweep) cell(loadTPS float64, dbg *swapHandler) (density.Cell, err
 	sum := srv.LatencySummary()
 	cell := density.Cell{
 		Engine: "serve", Policy: sc.policy,
-		Depth: 512, LoadTPS: loadTPS, // Depth mirrors the default MaxInFlight bound
+		Depth: 512 * sc.shards, LoadTPS: loadTPS, // Depth mirrors the summed per-shard MaxInFlight bound
 		Tasks: int(st.Tasks), WallS: wall,
 		P50S: sum.E2EP50, P95S: sum.E2EP95, P99S: sum.E2EP99,
-		EnergyJ:  srv.Runtime().Stats().Energy,
+		EnergyJ:  srv.EnergyRollup().TotalJ,
 		Rejected: st.Rejected,
+	}
+	if sc.shards > 1 {
+		cell.Shards = sc.shards
 	}
 	if wall > 0 {
 		cell.RateTPS = float64(st.Tasks) / wall

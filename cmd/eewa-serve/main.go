@@ -8,12 +8,16 @@
 //
 //	eewa-serve -addr :8080 -workers 8 -policy eewa
 //	eewa-serve -policy eewa -profile-in profile.json   # §IV-D offline mode
+//	eewa-serve -shards 4 -routing class                # 4-shard cluster router
+//	eewa-serve -shards 2 -profile-in a.json,b.json     # per-shard profiles
+//	eewa-serve -shards 4 -ladder-split tiered          # heterogeneous ladders
 //	eewa-serve -demo                                   # self-driving burst, then drain
 //
 // Submit work:
 //
 //	curl -s localhost:8080/v1/jobs -d '{"func":"sha1","count":8,"size_bytes":65536}'
 //	curl -s localhost:8080/v1/stats
+//	curl -s localhost:8080/v1/shards
 //	curl -s localhost:8080/metrics | grep eewa_serve
 //
 // On SIGTERM (or SIGINT) the server stops admitting (503), finishes
@@ -32,6 +36,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -50,8 +55,11 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 8, "runtime worker goroutines")
 	policyName := flag.String("policy", "eewa", "scheduling policy: cilk|cilk-d|wats|eewa")
-	profileIn := flag.String("profile-in", "", "offline workload profile (JSON, eewa only); EEWA configures before batch 1")
-	seed := flag.Uint64("seed", 1, "victim-selection seed")
+	profileIn := flag.String("profile-in", "", "offline workload profile (JSON, eewa only); EEWA configures before batch 1; a comma-separated list gives each shard its own (empty entry = none)")
+	shards := flag.Int("shards", 1, "runtime shards behind the router (each gets -workers cores)")
+	routing := flag.String("routing", serve.RouteClass, "shard placement policy: class|rr|least")
+	ladderSplit := flag.String("ladder-split", "uniform", "shard frequency ladders: uniform (all full) or tiered (shard i drops the top i rungs)")
+	seed := flag.Uint64("seed", 1, "victim-selection seed (shard i>0 uses a split stream)")
 	maxBatch := flag.Int("max-batch", 64, "max tasks per iteration")
 	flushMS := flag.Int("flush-ms", 25, "batching interval in milliseconds")
 	queueDepth := flag.Int("queue-depth", 128, "per-tenant queued-task bound")
@@ -73,33 +81,53 @@ func main() {
 		log.Fatalf("unknown policy %q (want one of %v)", *policyName, policy.IDs())
 	}
 
-	var offline *profile.Snapshot
-	if *profileIn != "" {
-		f, err := os.Open(*profileIn)
-		if err != nil {
-			log.Fatal(err)
-		}
-		offline, err = profile.DecodeSnapshot(f)
-		f.Close()
-		if err != nil {
-			log.Fatal(err)
-		}
+	// Topology flags fail loudly up front, like a bad policy name.
+	if *shards <= 0 {
+		log.Fatalf("-shards must be positive, got %d", *shards)
 	}
-
-	reg := obs.NewRegistry()
-	srv, err := serve.New(serve.Config{
+	cfg := serve.Config{
 		Workers:     *workers,
 		Machine:     machine.Opteron16(),
 		Policy:      *policyName,
-		Offline:     offline,
 		Seed:        *seed,
+		Shards:      *shards,
+		Routing:     *routing,
 		MaxBatch:    *maxBatch,
 		FlushEvery:  time.Duration(*flushMS) * time.Millisecond,
 		QueueDepth:  *queueDepth,
 		MaxInFlight: *maxInflight,
-		Obs:         reg,
 		GoMetrics:   *goMetrics,
-	})
+	}
+	switch *ladderSplit {
+	case "uniform":
+	case "tiered":
+		cfg.ShardMachines = make([]machine.Config, *shards)
+		for i := range cfg.ShardMachines {
+			cfg.ShardMachines[i] = machine.Tiered(cfg.Machine, i)
+		}
+	default:
+		log.Fatalf("unknown ladder split %q (want uniform or tiered)", *ladderSplit)
+	}
+	if *profileIn != "" {
+		paths := strings.Split(*profileIn, ",")
+		if len(paths) == 1 {
+			cfg.Offline = loadProfile(paths[0])
+		} else {
+			if len(paths) != *shards {
+				log.Fatalf("%d -profile-in entries for %d shards", len(paths), *shards)
+			}
+			cfg.ShardOfflines = make([]*profile.Snapshot, *shards)
+			for i, p := range paths {
+				if p = strings.TrimSpace(p); p != "" {
+					cfg.ShardOfflines[i] = loadProfile(p)
+				}
+			}
+		}
+	}
+
+	reg := obs.NewRegistry()
+	cfg.Obs = reg
+	srv, err := serve.New(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -118,7 +146,11 @@ func main() {
 		}
 	}()
 	base := "http://" + ln.Addr().String()
-	log.Printf("policy %s, %d workers, serving on %s", *policyName, *workers, base)
+	if *shards > 1 {
+		log.Printf("policy %s, %d shards × %d workers, %s routing, serving on %s", *policyName, *shards, *workers, *routing, base)
+	} else {
+		log.Printf("policy %s, %d workers, serving on %s", *policyName, *workers, base)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
@@ -145,6 +177,11 @@ func main() {
 			sum.Jobs, sum.E2EP50*1e3, sum.E2EP95*1e3, sum.E2EP99*1e3, sum.E2EMean*1e3,
 			sum.QueueP50*1e3, sum.QueueP95*1e3, sum.QueueP99*1e3)
 	}
+	if srv.Shards() > 1 {
+		roll := srv.EnergyRollup()
+		log.Printf("cluster energy: %.1f J total (%.1f attributed, %.1f overhead) across %d shards",
+			roll.TotalJ, roll.AttributedJ, roll.OverheadJ, srv.Shards())
+	}
 	if *metricsOut != "" {
 		var buf bytes.Buffer
 		if err := reg.WritePrometheus(&buf); err != nil {
@@ -155,6 +192,19 @@ func main() {
 		}
 		log.Printf("metrics written to %s", *metricsOut)
 	}
+}
+
+func loadProfile(path string) *profile.Snapshot {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	snap, err := profile.DecodeSnapshot(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return snap
 }
 
 // runDemo fires a burst big enough to overflow the default admission

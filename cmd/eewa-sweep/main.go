@@ -1,5 +1,8 @@
 // Command eewa-sweep explores the design space: any combination of
 // benchmarks, policies, core counts and seeds, as a text table or CSV.
+// With -cluster it sweeps cluster topologies instead — shard count ×
+// ladder split × routing policy — comparing routing rules
+// cell-for-cell the way the flat sweep compares scheduling policies.
 //
 // Usage:
 //
@@ -7,17 +10,21 @@
 //	eewa-sweep -bench sha1,md5 -cores 4,8,16,32 -policies cilk,eewa
 //	eewa-sweep -csv out.csv -seeds 5
 //	eewa-sweep -j 8 -json cells.json             # 8-way fan-out, per-cell JSON
+//	eewa-sweep -cluster -shards 1,2,4 -routing class,rr,least
+//	eewa-sweep -cluster -ladder-split uniform,tiered -csv cluster.csv
 //
-// Cells are sharded across -j worker goroutines (default GOMAXPROCS);
-// every worker count produces byte-identical results — per-cell RNG
-// streams are derived from the cell's identity, never shared — so -j
-// only changes wall-clock time, which -json reports per cell.
+// Cells are sharded across -j worker goroutines (default GOMAXPROCS;
+// the count must be positive); every worker count produces
+// byte-identical results — per-cell RNG streams are derived from the
+// cell's identity, never shared — so -j only changes wall-clock time,
+// which -json reports per cell.
 package main
 
 import (
 	"flag"
 	"log"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -28,65 +35,112 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("eewa-sweep: ")
 	benches := flag.String("bench", "", "comma-separated benchmarks (default: all seven)")
-	policies := flag.String("policies", "", "comma-separated policies: cilk,cilk-d,wats,eewa (default: cilk,cilk-d,eewa)")
-	cores := flag.String("cores", "", "comma-separated core counts (default: 16)")
+	policies := flag.String("policies", "", "comma-separated policies: cilk,cilk-d,wats,eewa (default: cilk,cilk-d,eewa; cluster default: cilk,eewa)")
+	cores := flag.String("cores", "", "comma-separated core counts (default: 16; per shard with -cluster)")
 	nseeds := flag.Int("seeds", 3, "number of seeds per cell")
 	csvPath := flag.String("csv", "", "write CSV to this file instead of a table to stdout")
 	jsonPath := flag.String("json", "", "write per-cell JSON (with host wall time) to this file")
-	workers := flag.Int("j", 0, "cells simulated concurrently (0 = GOMAXPROCS)")
+	workers := flag.Int("j", runtime.GOMAXPROCS(0), "cells simulated concurrently (must be positive)")
+	cluster := flag.Bool("cluster", false, "sweep cluster topologies (shards × ladder split × routing) instead of the flat grid")
+	shardsList := flag.String("shards", "", "with -cluster: comma-separated shard counts (default: 1,2,4)")
+	routings := flag.String("routing", "", "with -cluster: comma-separated routing policies: class,rr,least (default: all)")
+	splits := flag.String("ladder-split", "", "with -cluster: comma-separated ladder splits: uniform,tiered (default: uniform)")
 	flag.Parse()
 
-	grid := sweep.Grid{}
-	if *benches != "" {
-		grid.Benchmarks = splitList(*benches)
+	// A zero or negative worker count is a misconfiguration, not a
+	// request for the default: fail loudly instead of silently falling
+	// back to one behavior or another.
+	if *workers <= 0 {
+		log.Printf("-j must be positive, got %d", *workers)
+		flag.Usage()
+		os.Exit(2)
 	}
-	if *policies != "" {
-		grid.Policies = splitList(*policies)
-	}
-	if *cores != "" {
-		for _, c := range splitList(*cores) {
-			n, err := strconv.Atoi(c)
-			if err != nil || n <= 0 {
-				log.Fatalf("bad core count %q", c)
-			}
-			grid.Cores = append(grid.Cores, n)
-		}
-	}
-	for i := 0; i < *nseeds; i++ {
-		grid.Seeds = append(grid.Seeds, uint64(i+1))
+	if !*cluster && (*shardsList != "" || *routings != "" || *splits != "") {
+		log.Printf("-shards, -routing and -ladder-split require -cluster")
+		flag.Usage()
+		os.Exit(2)
 	}
 
+	var seeds []uint64
+	for i := 0; i < *nseeds; i++ {
+		seeds = append(seeds, uint64(i+1))
+	}
+
+	if *cluster {
+		runCluster(sweep.ClusterGrid{
+			Benchmarks:   splitList(*benches),
+			Policies:     splitList(*policies),
+			Shards:       intList("-shards", *shardsList),
+			Routings:     splitList(*routings),
+			LadderSplits: splitList(*splits),
+			Cores:        intList("-cores", *cores),
+			Seeds:        seeds,
+		}, *workers, *csvPath, *jsonPath)
+		return
+	}
+
+	grid := sweep.Grid{
+		Benchmarks: splitList(*benches),
+		Policies:   splitList(*policies),
+		Cores:      intList("-cores", *cores),
+		Seeds:      seeds,
+	}
 	cells, err := sweep.RunCells(grid, *workers)
 	if err != nil {
 		log.Fatal(err)
 	}
 	records := sweep.Aggregate(cells)
 	if *jsonPath != "" {
-		f, err := os.Create(*jsonPath)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := sweep.WriteCellsJSON(f, cells); err != nil {
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			log.Fatal(err)
-		}
+		writeFile(*jsonPath, func(f *os.File) error { return sweep.WriteCellsJSON(f, cells) })
 		log.Printf("wrote %d cells to %s", len(cells), *jsonPath)
 	}
 	if *csvPath != "" {
-		f, err := os.Create(*csvPath)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer f.Close()
-		if err := sweep.WriteCSV(f, records); err != nil {
-			log.Fatal(err)
-		}
+		writeFile(*csvPath, func(f *os.File) error { return sweep.WriteCSV(f, records) })
 		log.Printf("wrote %d records to %s", len(records), *csvPath)
 		return
 	}
 	if err := sweep.WriteTable(os.Stdout, records); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func runCluster(grid sweep.ClusterGrid, workers int, csvPath, jsonPath string) {
+	// Topology axes get the same up-front validation as -j: a typo'd
+	// routing name or a non-positive shard count is a usage error before
+	// any cell runs.
+	if err := grid.Validate(); err != nil {
+		log.Print(err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	cells, err := sweep.RunClusterCells(grid, workers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	records := sweep.AggregateCluster(cells)
+	if jsonPath != "" {
+		writeFile(jsonPath, func(f *os.File) error { return sweep.WriteClusterCellsJSON(f, cells) })
+		log.Printf("wrote %d cluster cells to %s", len(cells), jsonPath)
+	}
+	if csvPath != "" {
+		writeFile(csvPath, func(f *os.File) error { return sweep.WriteClusterCSV(f, records) })
+		log.Printf("wrote %d cluster records to %s", len(records), csvPath)
+		return
+	}
+	if err := sweep.WriteClusterTable(os.Stdout, records); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func writeFile(path string, write func(*os.File) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := write(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -98,6 +152,18 @@ func splitList(s string) []string {
 		if part != "" {
 			out = append(out, part)
 		}
+	}
+	return out
+}
+
+func intList(flagName, s string) []int {
+	var out []int
+	for _, part := range splitList(s) {
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			log.Fatalf("bad %s value %q (want a positive integer)", flagName, part)
+		}
+		out = append(out, n)
 	}
 	return out
 }

@@ -39,6 +39,7 @@ import (
 	"repro/internal/rt"
 	"repro/internal/sched"
 	"repro/internal/serve"
+	"repro/internal/sweep"
 	"repro/internal/task"
 	"repro/internal/trace"
 	"repro/internal/workloads"
@@ -103,8 +104,21 @@ type (
 	// JobResult is the synchronous response to a completed job.
 	JobResult = serve.JobResult
 	// ServeStats is a point-in-time snapshot of the service's admission
-	// and execution counters.
+	// and execution counters (cluster totals).
 	ServeStats = serve.Stats
+	// ServeShardStats is one runtime shard's slice of the routed
+	// cluster: admission counters, plan classes and energy account
+	// ((*JobServer).ShardStats, the /v1/shards endpoint).
+	ServeShardStats = serve.ShardStats
+	// ServeEnergyRollup is the cluster-wide energy account: per-shard
+	// attributed + overhead joules summing to the cluster total
+	// ((*JobServer).EnergyRollup).
+	ServeEnergyRollup = serve.EnergyRollup
+	// ClusterGrid declares a cluster topology sweep (shard count ×
+	// ladder split × routing policy); run it with ClusterSweep.
+	ClusterGrid = sweep.ClusterGrid
+	// ClusterCell is one deterministic cluster topology simulation.
+	ClusterCell = sweep.ClusterCell
 )
 
 // Policy names accepted by Simulate, NewPolicy and every CLI's -policy
@@ -243,12 +257,26 @@ func ParseLivePolicy(name string) (rt.Policy, error) { return rt.ParsePolicy(nam
 // NewServer builds the job-submission service: per-tenant bounded
 // admission queues with 429/Retry-After backpressure, interval
 // batching onto the live runtime, per-request deadlines and graceful
-// drain. See cmd/eewa-serve for the standalone binary.
+// drain. With ServeConfig.Shards > 1 it is a routing tier over N
+// runtime shards — class-aware placement, per-shard drain, cluster
+// energy roll-ups. See cmd/eewa-serve for the standalone binary.
 func NewServer(cfg ServeConfig) (*JobServer, error) { return serve.New(cfg) }
 
 // ServeFuncs returns the function names accepted by JobRequest.Func
 // (the Table II kernels runnable as service payloads).
 func ServeFuncs() []string { return serve.Funcs() }
+
+// ServeRoutingPolicies returns the placement policies a routed
+// JobServer accepts as ServeConfig.Routing ("class", "rr", "least").
+func ServeRoutingPolicies() []string { return serve.RoutingPolicies() }
+
+// ClusterSweep runs a cluster topology sweep — shard count × ladder
+// split × routing policy over the paper's benchmarks — on `workers`
+// goroutines, returning per-cell results that are byte-identical for
+// every worker count. See cmd/eewa-sweep -cluster.
+func ClusterSweep(g ClusterGrid, workers int) ([]ClusterCell, error) {
+	return sweep.RunClusterCells(g, workers)
+}
 
 // NewMetrics builds an observability registry. Pass it as Params.Obs
 // (simulator) or LiveConfig.Obs (live runtime); export it with

@@ -25,8 +25,11 @@ const Version = 1
 type Cell struct {
 	Engine string `json:"engine"` // "sim" or "serve"
 	Policy string `json:"policy"` // canonical policy id
+	// Shards is the routed cluster width for serve cells (omitted when
+	// 0 or 1, the pre-router shape, so old artifacts stay comparable).
+	Shards int `json:"shards,omitempty"`
 
-	Depth   int     `json:"depth"`              // backlog depth in tasks (sim axis; serve: MaxInFlight bound)
+	Depth   int     `json:"depth"`              // backlog depth in tasks (sim axis; serve: summed MaxInFlight bound)
 	LoadTPS float64 `json:"load_tps,omitempty"` // offered load in tasks/s (serve axis; 0 for sim)
 
 	Tasks   int     `json:"tasks"`          // tasks completed in the cell
@@ -50,13 +53,14 @@ func (c Cell) Axis() (string, float64) {
 	return "depth", float64(c.Depth)
 }
 
-// Knee is the detected saturation point of one (engine, policy) sweep:
-// the first step whose p99 exceeds Threshold × the unloaded baseline
-// (the sweep's lowest step). When no step crosses, Found is false and
-// At/KneeP99 describe the last step observed.
+// Knee is the detected saturation point of one (engine, policy,
+// shards) sweep: the first step whose p99 exceeds Threshold × the
+// unloaded baseline (the sweep's lowest step). When no step crosses,
+// Found is false and At/KneeP99 describe the last step observed.
 type Knee struct {
 	Engine      string  `json:"engine"`
 	Policy      string  `json:"policy"`
+	Shards      int     `json:"shards,omitempty"`
 	Axis        string  `json:"axis"` // "depth" or "load_tps"
 	At          float64 `json:"at"`   // axis value of the knee (or last step)
 	Found       bool    `json:"found"`
@@ -84,29 +88,44 @@ func (r *Report) Add(c Cell) { r.Cells = append(r.Cells, c) }
 // Finalize recomputes the knees from the accumulated cells.
 func (r *Report) Finalize() { r.Knees = DetectKnees(r.Cells, r.Threshold) }
 
-// DetectKnees groups cells by (engine, policy), orders each group
-// along its sweep axis, and finds the first step whose p99 exceeds
-// threshold × the group's baseline p99 (the lowest step). Groups are
-// returned in sorted (engine, policy) order so the artifact is
-// deterministic.
+// DetectKnees groups cells by (engine, policy, shards), orders each
+// group along its sweep axis, and finds the first step whose p99
+// exceeds threshold × the group's baseline p99 (the lowest step). A
+// zero Shards groups with 1 — both are the single-runtime shape.
+// Groups are returned in sorted (engine, policy, shards) order so the
+// artifact is deterministic.
 func DetectKnees(cells []Cell, threshold float64) []Knee {
 	if threshold <= 1 {
 		threshold = 2 // a knee must at least exceed the baseline
 	}
-	groups := map[[2]string][]Cell{}
+	type groupKey struct {
+		engine, policy string
+		shards         int
+	}
+	norm := func(c Cell) groupKey {
+		sh := c.Shards
+		if sh <= 1 {
+			sh = 1
+		}
+		return groupKey{c.Engine, c.Policy, sh}
+	}
+	groups := map[groupKey][]Cell{}
 	for _, c := range cells {
-		k := [2]string{c.Engine, c.Policy}
+		k := norm(c)
 		groups[k] = append(groups[k], c)
 	}
-	keys := make([][2]string, 0, len(groups))
+	keys := make([]groupKey, 0, len(groups))
 	for k := range groups {
 		keys = append(keys, k)
 	}
 	sort.Slice(keys, func(i, j int) bool {
-		if keys[i][0] != keys[j][0] {
-			return keys[i][0] < keys[j][0]
+		if keys[i].engine != keys[j].engine {
+			return keys[i].engine < keys[j].engine
 		}
-		return keys[i][1] < keys[j][1]
+		if keys[i].policy != keys[j].policy {
+			return keys[i].policy < keys[j].policy
+		}
+		return keys[i].shards < keys[j].shards
 	})
 
 	var knees []Knee
@@ -119,9 +138,12 @@ func DetectKnees(cells []Cell, threshold float64) []Knee {
 		})
 		axis, at0 := g[0].Axis()
 		kn := Knee{
-			Engine: k[0], Policy: k[1], Axis: axis,
+			Engine: k.engine, Policy: k.policy, Axis: axis,
 			At: at0, BaselineP99: g[0].P99S, KneeP99: g[0].P99S,
 			Threshold: threshold,
+		}
+		if k.shards > 1 {
+			kn.Shards = k.shards
 		}
 		for _, c := range g[1:] {
 			_, at := c.Axis()

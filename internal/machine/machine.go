@@ -219,6 +219,28 @@ func Uncoupled(cfg Config) Config {
 	return cfg
 }
 
+// Tiered returns shard `shard`'s machine in a tiered cluster built
+// from base: shard 0 keeps the full ladder, and each later shard drops
+// one more rung off the top (never below two rungs), so the cluster is
+// ladder-heterogeneous — the shape the router's "unknown class →
+// fastest ladder" rule exists for. The voltage table is truncated in
+// step with the ladder; cores, power coefficients and packaging are
+// untouched.
+func Tiered(base Config, shard int) Config {
+	if shard <= 0 || len(base.Freqs) <= 2 {
+		return base
+	}
+	drop := shard
+	if max := len(base.Freqs) - 2; drop > max {
+		drop = max
+	}
+	c := base
+	c.Name = fmt.Sprintf("%s-tier%d", base.Name, drop)
+	c.Freqs = append(FreqLadder(nil), base.Freqs[drop:]...)
+	c.Power.Volt = append([]float64(nil), base.Power.Volt[drop:]...)
+	return c
+}
+
 // Machine is the runtime state of the simulated hardware: per-core
 // frequency levels and activity states, with exact lazy energy
 // integration. All mutation goes through SetState/SetFreq so that every

@@ -385,3 +385,42 @@ func TestCoreStateString(t *testing.T) {
 		t.Error("unknown state should still stringify")
 	}
 }
+
+// Tiered builds the heterogeneous cluster ladders: shard i loses the
+// top i rungs but always keeps at least two, the voltage table stays
+// in step with the ladder, and the result still validates.
+func TestTiered(t *testing.T) {
+	base := Opteron16()
+	if got := Tiered(base, 0); got.Name != base.Name || len(got.Freqs) != len(base.Freqs) {
+		t.Errorf("shard 0 must keep the full ladder: %+v", got)
+	}
+	for shard := 1; shard < len(base.Freqs)+3; shard++ {
+		c := Tiered(base, shard)
+		if err := c.Validate(); err != nil {
+			t.Fatalf("shard %d: tiered config invalid: %v", shard, err)
+		}
+		wantDrop := shard
+		if max := len(base.Freqs) - 2; wantDrop > max {
+			wantDrop = max
+		}
+		if len(c.Freqs) != len(base.Freqs)-wantDrop {
+			t.Errorf("shard %d: %d rungs, want %d", shard, len(c.Freqs), len(base.Freqs)-wantDrop)
+		}
+		if len(c.Freqs) < 2 {
+			t.Errorf("shard %d: ladder shrank below 2 rungs (no DVFS left)", shard)
+		}
+		if c.Freqs[0] != base.Freqs[wantDrop] {
+			t.Errorf("shard %d: fastest rung %g, want %g", shard, c.Freqs[0], base.Freqs[wantDrop])
+		}
+		if len(c.Power.Volt) != len(c.Freqs) {
+			t.Errorf("shard %d: %d voltages for %d rungs", shard, len(c.Power.Volt), len(c.Freqs))
+		}
+	}
+	// The base config is never mutated through the returned copies.
+	c := Tiered(base, 1)
+	c.Freqs[0] = 99
+	c.Power.Volt[0] = 99
+	if base.Freqs[1] == 99 || base.Power.Volt[1] == 99 {
+		t.Error("Tiered aliases the base ladder")
+	}
+}

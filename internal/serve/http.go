@@ -15,8 +15,10 @@ import (
 //	                   or its deadline expires; 200 JobResult,
 //	                   400 invalid, 429/503 + Retry-After backpressure,
 //	                   504 deadline
-//	GET  /v1/stats   — Stats snapshot (JSON)
-//	GET  /healthz    — 200 "ok", 503 "draining"
+//	GET  /v1/stats   — Stats snapshot (JSON, cluster totals)
+//	GET  /v1/shards  — RouterStats snapshot (JSON): routing policy,
+//	                   per-shard counters, cluster energy roll-up
+//	GET  /healthz    — 200 "ok", 503 "draining" + Retry-After
 //
 // When the server has a registry, the PR-1 observability endpoints
 // (/metrics, /debug/vars, /debug/pprof) are mounted on the same mux.
@@ -32,6 +34,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/jobs", s.handleJobs)
 	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/shards", s.handleShards)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	if s.cfg.Obs != nil {
 		oh := obs.HandlerWith(s.cfg.Obs, obs.HandlerOptions{Pprof: true, GoRuntime: s.cfg.GoMetrics})
@@ -79,9 +82,9 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 		return
 	}
-	if rej := s.admit(j); rej != nil {
+	if rej := s.route(j); rej != nil {
 		s.mu.Lock()
-		s.stats.Rejected++
+		s.rejected++
 		s.mu.Unlock()
 		s.so.rejected.With(rej.reason).Inc()
 		ra := s.retryAfterSeconds()
@@ -135,12 +138,24 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, 200, s.Stats())
 }
 
+func (s *Server) handleShards(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "GET only"})
+		return
+	}
+	writeJSON(w, 200, s.RouterStats())
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
 	s.mu.Unlock()
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	if draining {
+		// Same back-off hint the 429/503 job path sends, so probes and
+		// clients behave uniformly during drain.
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfterSeconds()))
 		w.WriteHeader(http.StatusServiceUnavailable)
 		_, _ = w.Write([]byte("draining\n"))
 		return

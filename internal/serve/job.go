@@ -45,7 +45,12 @@ type JobResult struct {
 	Tasks    int     `json:"tasks"`
 	TasksRun int     `json:"tasks_run"`
 	Batch    int     `json:"batch"`
-	QueueMS  float64 `json:"queue_ms"`
+	// Shard is the runtime shard the routing tier placed the job on.
+	// Nil (omitted) in single-shard clusters, so those responses stay
+	// byte-identical to the pre-router wire format; a pointer, not a
+	// bare int, so shard 0 still serializes in a real cluster.
+	Shard   *int    `json:"shard,omitempty"`
+	QueueMS float64 `json:"queue_ms"`
 	BatchMS  float64 `json:"batch_ms"`
 	// EnergyJ is the whole batch's modeled energy (the iteration this
 	// job rode in); EnergyAttrJ is the slice attributed to this job:
@@ -71,6 +76,7 @@ type job struct {
 	tenant   string
 	req      JobRequest
 	tasks    []rt.Task
+	shard    int       // set at admission by the shard that accepted it
 	deadline time.Time // zero = none
 	enqueued time.Time
 	started  time.Time

@@ -35,6 +35,76 @@ type serveObs struct {
 	tenantEnergy *obs.CounterVec
 }
 
+// routerObs bundles the routing tier's extra metric handles under the
+// eewa_serve_router_* namespace. They only exist with more than one
+// shard — a single-shard server exports exactly the pre-router family
+// set — and every method is safe on a nil receiver, so shard code
+// calls them unconditionally.
+type routerObs struct {
+	routedV   *obs.CounterVec // by shard: jobs placed
+	spillV    *obs.Counter    // jobs placed off their preferred shard
+	inflightV *obs.GaugeVec   // by shard: queued + running tasks
+	drainingV *obs.GaugeVec   // by shard: 1 while the shard drains
+	energyV   *obs.CounterVec // by shard: modeled joules
+}
+
+func newRouterObs(reg *obs.Registry) *routerObs {
+	return &routerObs{
+		routedV: reg.CounterVec("eewa_serve_router_routed_total",
+			"Jobs the routing tier placed, by destination shard.", "shard"),
+		spillV: reg.Counter("eewa_serve_router_spillover_total",
+			"Jobs that spilled past their preferred shard to a later candidate."),
+		inflightV: reg.GaugeVec("eewa_serve_router_shard_inflight_tasks",
+			"Admitted tasks not yet finished on each shard.", "shard"),
+		drainingV: reg.GaugeVec("eewa_serve_router_shard_draining",
+			"1 while the shard is draining, else 0.", "shard"),
+		energyV: reg.CounterVec("eewa_serve_router_shard_energy_joules_total",
+			"Modeled energy accumulated by each shard's runtime (joules).", "shard"),
+	}
+}
+
+// shardLabel formats a shard index as a metric label.
+func shardLabel(idx int) string { return itoa(idx) }
+
+func (ro *routerObs) routed(idx int) {
+	if ro == nil {
+		return
+	}
+	ro.routedV.With(shardLabel(idx)).Inc()
+}
+
+func (ro *routerObs) spilled() {
+	if ro == nil {
+		return
+	}
+	ro.spillV.Inc()
+}
+
+func (ro *routerObs) shardInflight(idx, n int) {
+	if ro == nil {
+		return
+	}
+	ro.inflightV.With(shardLabel(idx)).Set(float64(n))
+}
+
+func (ro *routerObs) shardDraining(idx int, d bool) {
+	if ro == nil {
+		return
+	}
+	v := 0.0
+	if d {
+		v = 1
+	}
+	ro.drainingV.With(shardLabel(idx)).Set(v)
+}
+
+func (ro *routerObs) shardEnergy(idx int, joules float64) {
+	if ro == nil {
+		return
+	}
+	ro.energyV.With(shardLabel(idx)).Add(joules)
+}
+
 func newServeObs(reg *obs.Registry) serveObs {
 	return serveObs{
 		admitted: reg.Counter("eewa_serve_admitted_total",

@@ -1,0 +1,279 @@
+// Router tier: class-aware placement of admitted jobs over the
+// cluster's runtime shards. The placement rule lifts the paper's
+// task-class rule to cluster scope — a job class goes to the shard
+// whose current plan has headroom for it, and a class no shard's plan
+// knows goes to the shard with the fastest ladder (the paper's
+// "unknown class → fastest group"). Backpressure-aware spillover walks
+// the remaining healthy shards before rejecting, and shard-level drain
+// removes a shard from every candidate order without interrupting the
+// rest of the cluster.
+package serve
+
+import (
+	"context"
+	"sort"
+)
+
+// Routing-policy identifiers for Config.Routing (and the cluster
+// sweep's routing axis — internal/sweep uses the same names).
+const (
+	// RouteClass is the workload-aware rule above (the default).
+	RouteClass = "class"
+	// RouteRR is blind round-robin over healthy shards — the baseline
+	// class-aware routing is compared against.
+	RouteRR = "rr"
+	// RouteLeast sends every job to the healthy shard with the most
+	// in-flight headroom, ignoring classes.
+	RouteLeast = "least"
+)
+
+// RoutingPolicies returns the canonical routing-policy identifiers.
+func RoutingPolicies() []string { return []string{RouteClass, RouteRR, RouteLeast} }
+
+func validRouting(name string) bool {
+	for _, id := range RoutingPolicies() {
+		if name == id {
+			return true
+		}
+	}
+	return false
+}
+
+// ShardStats is one shard's slice of /v1/shards: admission counters,
+// the classes its current plan covers, and its energy roll-up.
+type ShardStats struct {
+	Shard      int     `json:"shard"`
+	Workers    int     `json:"workers"`
+	FastestGHz float64 `json:"fastest_ghz"`
+	Draining   bool    `json:"draining"`
+	Queued     int     `json:"queued_tasks"`
+	Inflight   int     `json:"inflight_tasks"`
+	Admitted   uint64  `json:"admitted_jobs"`
+	Completed  uint64  `json:"completed_jobs"`
+	Timeouts   uint64  `json:"timeout_jobs"`
+	Batches    uint64  `json:"batches"`
+	Tasks      uint64  `json:"tasks_run"`
+	Cancelled  uint64  `json:"tasks_cancelled"`
+	// PlanClasses are the task classes the shard's current plan
+	// allocated c-groups for (profiled in its last batch) — the router's
+	// placement signal.
+	PlanClasses []string `json:"plan_classes"`
+	// EnergyJ is the shard's total modeled energy; EnergyAttrJ the part
+	// attributed to task classes (busy-state), OverheadJ the remainder
+	// (search, dry spin, barrier halt, base draw). EnergyAttrJ +
+	// OverheadJ == EnergyJ.
+	EnergyJ     float64 `json:"energy_j"`
+	EnergyAttrJ float64 `json:"energy_attr_j"`
+	OverheadJ   float64 `json:"energy_overhead_j"`
+}
+
+// RouterStats is the /v1/shards body: the routing policy, per-shard
+// stats and the cluster energy roll-up.
+type RouterStats struct {
+	Routing string       `json:"routing"`
+	Shards  []ShardStats `json:"shards"`
+	Energy  EnergyRollup `json:"energy"`
+}
+
+// EnergyRollup is the cluster-wide energy account: for every shard,
+// attributed + overhead equals that shard's total, and the shard
+// totals sum to TotalJ — the closure invariant the eewa_check build
+// verifies.
+type EnergyRollup struct {
+	TotalJ      float64       `json:"total_j"`
+	AttributedJ float64       `json:"attributed_j"`
+	OverheadJ   float64       `json:"overhead_j"`
+	Shards      []ShardEnergy `json:"shards"`
+}
+
+// ShardEnergy is one shard's slice of the cluster energy roll-up.
+type ShardEnergy struct {
+	Shard       int     `json:"shard"`
+	TotalJ      float64 `json:"total_j"`
+	AttributedJ float64 `json:"attributed_j"`
+	OverheadJ   float64 `json:"overhead_j"`
+}
+
+// ShardStats returns every shard's point-in-time counters.
+func (s *Server) ShardStats() []ShardStats {
+	out := make([]ShardStats, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = sh.snapshot()
+	}
+	return out
+}
+
+// RouterStats returns the routing tier's view of the cluster.
+func (s *Server) RouterStats() RouterStats {
+	return RouterStats{
+		Routing: s.cfg.Routing,
+		Shards:  s.ShardStats(),
+		Energy:  s.EnergyRollup(),
+	}
+}
+
+// EnergyRollup sums the per-shard energy accounts into the cluster
+// total.
+func (s *Server) EnergyRollup() EnergyRollup {
+	r := EnergyRollup{Shards: make([]ShardEnergy, len(s.shards))}
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		se := ShardEnergy{Shard: i, TotalJ: sh.energyTotalJ, AttributedJ: sh.energyAttrJ, OverheadJ: sh.energyOverheadJ}
+		sh.mu.Unlock()
+		r.Shards[i] = se
+		r.TotalJ += se.TotalJ
+		r.AttributedJ += se.AttributedJ
+		r.OverheadJ += se.OverheadJ
+	}
+	return r
+}
+
+// DrainShard drains one shard: it stops admitting, flushes its queue
+// into final batches and leaves every candidate order, while the rest
+// of the cluster keeps serving. Draining the last healthy shard leaves
+// the cluster answering 503.
+func (s *Server) DrainShard(ctx context.Context, shard int) error {
+	if shard < 0 || shard >= len(s.shards) {
+		return errShardRange(shard, len(s.shards))
+	}
+	return s.shards[shard].drain(ctx)
+}
+
+type errShardRangeT struct{ shard, n int }
+
+func errShardRange(shard, n int) error { return errShardRangeT{shard, n} }
+func (e errShardRangeT) Error() string {
+	return "serve: shard " + itoa(e.shard) + " outside [0, " + itoa(e.n) + ")"
+}
+
+// route places an admitted job on a shard: the candidate order comes
+// from the routing policy, and the first shard to accept wins
+// (backpressure-aware spillover). When every candidate rejects, the
+// preferred shard's rejection is returned; when every shard is
+// draining, the whole cluster is.
+func (s *Server) route(j *job) *rejection {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		return &rejection{status: 503, reason: "draining",
+			msg: "server is draining, not admitting new jobs"}
+	}
+	order := s.shardOrder(j.req.Func, len(j.tasks))
+	if len(order) == 0 {
+		return &rejection{status: 503, reason: "draining",
+			msg: "every shard is draining, not admitting new jobs"}
+	}
+	var firstRej *rejection
+	for k, idx := range order {
+		rej := s.shards[idx].admit(j)
+		if rej == nil {
+			s.ro.routed(idx)
+			if k > 0 {
+				s.ro.spilled()
+			}
+			return nil
+		}
+		if firstRej == nil || (firstRej.status == 503 && rej.status != 503) {
+			firstRej = rej
+		}
+	}
+	return firstRej
+}
+
+// shardOrder returns the candidate shard indices for a job of `class`
+// with n tasks, best first. Draining shards never appear; with one
+// shard the order is always [0], so the single-shard cluster admits
+// exactly like the pre-router server.
+func (s *Server) shardOrder(class string, n int) []int {
+	views := make([]shardView, 0, len(s.shards))
+	for _, sh := range s.shards {
+		v := sh.view(class)
+		if v.draining {
+			continue
+		}
+		views = append(views, v)
+	}
+	if len(views) <= 1 {
+		if len(views) == 0 {
+			return nil
+		}
+		return []int{views[0].idx}
+	}
+	switch s.cfg.Routing {
+	case RouteRR:
+		start := int(s.rr.Add(1)-1) % len(views)
+		order := make([]int, 0, len(views))
+		for k := 0; k < len(views); k++ {
+			order = append(order, views[(start+k)%len(views)].idx)
+		}
+		return order
+	case RouteLeast:
+		sort.SliceStable(views, func(a, b int) bool {
+			if views[a].headroom != views[b].headroom {
+				return views[a].headroom > views[b].headroom
+			}
+			return views[a].idx < views[b].idx
+		})
+	default: // RouteClass
+		anyKnows := false
+		for _, v := range views {
+			if v.knows {
+				anyKnows = true
+				break
+			}
+		}
+		sort.SliceStable(views, func(a, b int) bool {
+			va, vb := views[a], views[b]
+			if anyKnows {
+				// Known class: its planning shards first, each by
+				// headroom; spillover targets follow, also by headroom.
+				if va.knows != vb.knows {
+					return va.knows
+				}
+				if va.headroom != vb.headroom {
+					return va.headroom > vb.headroom
+				}
+				return va.idx < vb.idx
+			}
+			// Class unknown cluster-wide: fastest ladder first — the
+			// paper's "unknown class → fastest group" at cluster scope.
+			if va.fastest != vb.fastest {
+				return va.fastest > vb.fastest
+			}
+			if va.headroom != vb.headroom {
+				return va.headroom > vb.headroom
+			}
+			return va.idx < vb.idx
+		})
+	}
+	order := make([]int, len(views))
+	for i, v := range views {
+		order[i] = v.idx
+	}
+	return order
+}
+
+// itoa is strconv.Itoa for the tiny error path (avoids the import in
+// this file's hot section).
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		b[i] = '-'
+	}
+	return string(b[i:])
+}

@@ -1,0 +1,84 @@
+//go:build eewa_check
+
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Cluster-wide energy closure under the invariant build: for every
+// shard attributed + overhead equals that shard's total (the batchEnd
+// accumulation is exact, not approximate), the shard totals sum to the
+// cluster TotalJ, and the roll-up agrees with each shard runtime's own
+// energy account.
+func TestEnergyRollupCloses(t *testing.T) {
+	s, ts := testServer(t, func(c *Config) {
+		c.Shards = 3
+		c.Workers = 2
+		c.Invariants = true
+		c.FlushEvery = 5 * time.Millisecond
+		c.QueueDepth = 4096
+		c.MaxInFlight = 4096
+	})
+
+	funcs := []string{"sha1", "md5", "lzw", "dmc"}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				resp, body := submit(t, ts.URL, JobRequest{
+					Tenant: fmt.Sprintf("t%d", g), Func: funcs[(g+i)%len(funcs)],
+					Count: 3, SizeBytes: 8 << 10, Seed: uint64(g*100 + i),
+				})
+				if resp.StatusCode != 200 {
+					t.Errorf("status %d: %s", resp.StatusCode, body)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	drain(t, s)
+
+	roll := s.EnergyRollup()
+	if roll.TotalJ <= 0 {
+		t.Fatalf("cluster ran work but TotalJ = %g", roll.TotalJ)
+	}
+	const relTol = 1e-9
+	closeEnough := func(a, b float64) bool {
+		return math.Abs(a-b) <= relTol*math.Max(math.Abs(a), math.Abs(b))
+	}
+	var sumTotal, sumAttr, sumOver float64
+	for _, se := range roll.Shards {
+		if !closeEnough(se.AttributedJ+se.OverheadJ, se.TotalJ) {
+			t.Errorf("shard %d: attributed %g + overhead %g ≠ total %g",
+				se.Shard, se.AttributedJ, se.OverheadJ, se.TotalJ)
+		}
+		// The roll-up is accumulated at batch barriers from the same
+		// BatchStats the runtime folds into its own account.
+		if rtE := s.shards[se.Shard].rt.Stats().Energy; !closeEnough(se.TotalJ, rtE) {
+			t.Errorf("shard %d: roll-up total %g ≠ runtime energy %g", se.Shard, se.TotalJ, rtE)
+		}
+		sumTotal += se.TotalJ
+		sumAttr += se.AttributedJ
+		sumOver += se.OverheadJ
+	}
+	if !closeEnough(sumTotal, roll.TotalJ) || !closeEnough(sumAttr, roll.AttributedJ) || !closeEnough(sumOver, roll.OverheadJ) {
+		t.Errorf("cluster sums don't close: shards (%g, %g, %g) vs roll-up (%g, %g, %g)",
+			sumTotal, sumAttr, sumOver, roll.TotalJ, roll.AttributedJ, roll.OverheadJ)
+	}
+	if !closeEnough(roll.AttributedJ+roll.OverheadJ, roll.TotalJ) {
+		t.Errorf("cluster closure broken: attributed %g + overhead %g ≠ total %g",
+			roll.AttributedJ, roll.OverheadJ, roll.TotalJ)
+	}
+	for i, sh := range s.shards {
+		if vs := sh.rt.Violations(); len(vs) != 0 {
+			t.Errorf("shard %d invariant violations: %v", i, vs)
+		}
+	}
+}

@@ -12,9 +12,9 @@
 //     Config.QueueDepth queued tasks; overflow is rejected immediately
 //     with HTTP 429 and a Retry-After hint (backpressure, never
 //     unbounded buffering);
-//   - a global in-flight budget (Config.MaxInFlight) across all
+//   - a per-shard in-flight budget (Config.MaxInFlight) across all
 //     tenants, bounding queued + running tasks and therefore memory;
-//   - an interval batcher: admitted jobs accumulate for
+//   - an interval batcher per shard: admitted jobs accumulate for
 //     Config.FlushEvery (or until Config.MaxBatch tasks are waiting,
 //     whichever is first) and then run as one rt.RunBatch iteration —
 //     exactly the batch boundary at which EEWA's frequency adjuster
@@ -29,16 +29,29 @@
 //     (the internal/check task-conservation invariant is enforceable
 //     via Config.Invariants).
 //
+// Since the routing-tier refactor the Server is a router over
+// Config.Shards runtime shards. Each shard is the full pipeline above
+// — its own runtime, frequency ladder, profile, batcher and energy
+// account — and the router places each admitted job with the paper's
+// class rule lifted to cluster scope: a class goes to the shard whose
+// current plan has headroom for it, an unknown class to the shard with
+// the fastest ladder, with backpressure-aware spillover across the
+// remaining healthy shards. The default single-shard configuration is
+// decision- and wire-identical to the pre-router server. See
+// router.go for placement and DESIGN.md §11 for semantics.
+//
 // Everything observable is exported through internal/obs under the
 // eewa_serve_* namespace alongside the runtime's eewa_rt_* metrics, so
-// one scrape shows the queue and the machine it feeds.
+// one scrape shows the queue and the machine it feeds. Families are
+// cluster totals; the multi-shard extras live under
+// eewa_serve_router_*.
 package serve
 
 import (
 	"context"
 	"fmt"
-	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/machine"
@@ -46,15 +59,18 @@ import (
 	"repro/internal/policy"
 	"repro/internal/profile"
 	"repro/internal/rt"
+	"repro/internal/xrand"
 )
 
 // Config configures a Server.
 type Config struct {
-	// Workers is the number of runtime worker goroutines ("cores").
+	// Workers is the number of runtime worker goroutines ("cores") per
+	// shard.
 	Workers int
 	// Machine supplies the frequency ladder and power model (core count
 	// is overridden by Workers). The zero value defaults to
-	// machine.Opteron16().
+	// machine.Opteron16(). With Shards > 1 every shard uses this machine
+	// unless ShardMachines overrides it.
 	Machine machine.Config
 	// Policy is the canonical scheduling-policy identifier
 	// (policy.IDs: cilk, cilk-d, wats, eewa). Empty defaults to eewa.
@@ -63,10 +79,30 @@ type Config struct {
 	// §IV-D) handed to the EEWA policy so the first batch already runs
 	// downscaled. It is validated against the machine's ladder at New
 	// time; an invalid snapshot is a construction error, never a silent
-	// no-op.
+	// no-op. With Shards > 1 it applies to every shard unless
+	// ShardOfflines overrides it.
 	Offline *profile.Snapshot
-	// Seed drives the runtime's victim selection.
+	// Seed drives the runtime's victim selection. Shard 0 uses it
+	// verbatim (single-shard parity); shard i>0 derives its stream with
+	// xrand.Split(Seed, i).
 	Seed uint64
+
+	// Shards is the number of runtime shards behind the router
+	// (default 1). Each shard has its own runtime, batcher, admission
+	// bounds and energy account.
+	Shards int
+	// Routing picks the placement policy over shards: RouteClass
+	// (default — the paper's class rule at cluster scope), RouteRR, or
+	// RouteLeast. Irrelevant with one shard.
+	Routing string
+	// ShardMachines, when non-empty, gives each shard its own machine
+	// (ladder heterogeneity — e.g. a tiered cluster where shard 0 keeps
+	// the full ladder and later shards run truncated ones). Length must
+	// equal Shards.
+	ShardMachines []machine.Config
+	// ShardOfflines, when non-empty, gives each shard its own offline
+	// profile (nil entries mean "none"). Length must equal Shards.
+	ShardOfflines []*profile.Snapshot
 
 	// MaxBatch is the most tasks packed into one iteration (default
 	// 64). A single job may not exceed it.
@@ -74,10 +110,11 @@ type Config struct {
 	// FlushEvery is the batching interval (default 25ms): queued jobs
 	// wait at most this long before an iteration starts.
 	FlushEvery time.Duration
-	// QueueDepth is the per-tenant bound on queued tasks (default 128).
+	// QueueDepth is the per-tenant, per-shard bound on queued tasks
+	// (default 128).
 	QueueDepth int
-	// MaxInFlight is the global bound on admitted-but-unfinished tasks
-	// across all tenants (default 512).
+	// MaxInFlight is the per-shard bound on admitted-but-unfinished
+	// tasks across all tenants (default 512).
 	MaxInFlight int
 	// RetryAfter is the hint returned with 429/503 responses (default
 	// 1s, rounded up to whole seconds on the wire).
@@ -103,6 +140,12 @@ func (c *Config) setDefaults() {
 	if c.Machine.Cores == 0 && c.Machine.Freqs == nil {
 		c.Machine = machine.Opteron16()
 	}
+	if c.Shards == 0 {
+		c.Shards = 1
+	}
+	if c.Routing == "" {
+		c.Routing = RouteClass
+	}
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 64
 	}
@@ -121,7 +164,8 @@ func (c *Config) setDefaults() {
 }
 
 // Stats is a point-in-time snapshot of the service counters, served at
-// /v1/stats.
+// /v1/stats. Counts are cluster totals; per-shard slices are at
+// /v1/shards.
 type Stats struct {
 	Policy    string `json:"policy"`
 	Workers   int    `json:"workers"`
@@ -137,107 +181,106 @@ type Stats struct {
 	Cancelled uint64 `json:"tasks_cancelled"`
 }
 
-// Server is the job-submission service. Build one with New, mount
-// Handler on an http.Server, and call Drain before exiting.
+// Server is the job-submission service: the routing tier over the
+// cluster's runtime shards. Build one with New, mount Handler on an
+// http.Server, and call Drain before exiting.
 type Server struct {
-	cfg Config
-	rt  *rt.Runtime
+	cfg    Config
+	shards []*shard
+	so     *serveObs
+	ga     *gaugeAgg
+	ro     *routerObs // nil with one shard: no router-only families
 
 	mu       sync.Mutex
-	pending  []*job
-	queued   map[string]int // tenant → queued task count
-	queuedN  int            // total queued tasks
-	inflight int            // queued + running tasks
-	draining bool
-	stats    Stats
-
-	wake    chan struct{}
-	drained chan struct{}
+	draining bool   // cluster-wide drain (Drain); shards drain individually too
+	rejected uint64 // jobs refused at admission (router-level counter)
 
 	jobSeq uint64
-	so     serveObs
-
-	// latE2E and latQueue aggregate end-to-end and queue-wait latency
-	// across every class and tenant, for LatencySummary. They are plain
-	// LogHistograms (not registry families), so they work — and cost
-	// nothing extra — whether or not Obs is set.
-	latE2E   obs.LogHistogram
-	latQueue obs.LogHistogram
-
-	// arena recycles the per-batch []rt.Task slab across flushes; only
-	// the batcher goroutine leases from it, and the slab is returned
-	// once the batch's outcomes have been delivered.
-	arena rt.TaskArena
+	rr     atomic.Uint64 // round-robin cursor for RouteRR
 }
 
-// New validates cfg, builds the runtime and starts the batcher.
+// New validates cfg, builds the shards and starts their batchers.
 func New(cfg Config) (*Server, error) {
 	cfg.setDefaults()
-	mc := cfg.Machine
-	mc.Cores = cfg.Workers
-	if err := mc.Validate(); err != nil {
-		return nil, fmt.Errorf("serve: %w", err)
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("serve: shards must be positive, got %d", cfg.Shards)
 	}
-	pol, err := policy.New(cfg.Policy, mc)
-	if err != nil {
-		return nil, fmt.Errorf("serve: %w", err)
+	if !validRouting(cfg.Routing) {
+		return nil, fmt.Errorf("serve: unknown routing policy %q (want one of %v)", cfg.Routing, RoutingPolicies())
 	}
-	if cfg.Offline != nil {
-		if cfg.Policy != policy.IDEEWA {
-			return nil, fmt.Errorf("serve: offline profile only applies to the %s policy, not %s", policy.IDEEWA, cfg.Policy)
+	if len(cfg.ShardMachines) != 0 && len(cfg.ShardMachines) != cfg.Shards {
+		return nil, fmt.Errorf("serve: %d shard machines for %d shards", len(cfg.ShardMachines), cfg.Shards)
+	}
+	if len(cfg.ShardOfflines) != 0 && len(cfg.ShardOfflines) != cfg.Shards {
+		return nil, fmt.Errorf("serve: %d shard profiles for %d shards", len(cfg.ShardOfflines), cfg.Shards)
+	}
+	s := &Server{cfg: cfg}
+	so := newServeObs(cfg.Obs)
+	s.so = &so
+	s.ga = newGaugeAgg(s.so)
+	if cfg.Shards > 1 {
+		s.ro = newRouterObs(cfg.Obs)
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		mc := cfg.Machine
+		if len(cfg.ShardMachines) > 0 {
+			mc = cfg.ShardMachines[i]
 		}
-		// Reject a corrupt snapshot loudly at startup: the EEWA policy
-		// would otherwise quietly ignore it (or worse, pre-fix, build a
-		// CC table without the indivisibility bound).
-		if err := cfg.Offline.Validate(mc.Freqs); err != nil {
-			return nil, fmt.Errorf("serve: %w", err)
+		off := cfg.Offline
+		if len(cfg.ShardOfflines) > 0 {
+			off = cfg.ShardOfflines[i]
 		}
-		pol.(*policy.EEWA).Offline = cfg.Offline
+		seed := cfg.Seed
+		if i > 0 {
+			// Independent victim-selection streams per shard, derived the
+			// same way sweep cells derive theirs. Shard 0 keeps the raw
+			// seed so one shard reproduces the pre-router server bit for
+			// bit.
+			seed = xrand.Split(cfg.Seed, uint64(i))
+		}
+		sh, err := newShard(shardConfig{
+			index:       i,
+			total:       cfg.Shards,
+			workers:     cfg.Workers,
+			mc:          mc,
+			policy:      cfg.Policy,
+			offline:     off,
+			seed:        seed,
+			maxBatch:    cfg.MaxBatch,
+			flushEvery:  cfg.FlushEvery,
+			queueDepth:  cfg.QueueDepth,
+			maxInFlight: cfg.MaxInFlight,
+			invariants:  cfg.Invariants,
+			reg:         cfg.Obs,
+		}, s.so, s.ga, s.ro)
+		if err != nil {
+			return nil, err
+		}
+		s.shards = append(s.shards, sh)
 	}
-	s := &Server{
-		cfg:     cfg,
-		queued:  map[string]int{},
-		wake:    make(chan struct{}, 1),
-		drained: make(chan struct{}),
-		so:      newServeObs(cfg.Obs),
-	}
-	rcfg := rt.Config{
-		Workers:    cfg.Workers,
-		Machine:    cfg.Machine,
-		Impl:       pol,
-		Seed:       cfg.Seed,
-		Obs:        cfg.Obs,
-		Invariants: cfg.Invariants,
-		Hooks: rt.Hooks{
-			BatchEnd: func(_ int, bs rt.BatchStats) {
-				s.so.batches.Inc()
-				s.so.batchSecs.Observe(bs.Wall.Seconds())
-				s.so.batchTasks.Observe(float64(bs.Tasks))
-			},
-		},
-	}
-	s.rt, err = rt.New(rcfg)
-	if err != nil {
-		return nil, fmt.Errorf("serve: %w", err)
-	}
-	s.stats.Policy = cfg.Policy
-	s.stats.Workers = cfg.Workers
-	go s.batcher()
 	return s, nil
 }
 
-// Runtime exposes the underlying live runtime (for Violations() and
-// Stats() in tests and diagnostics).
-func (s *Server) Runtime() *rt.Runtime { return s.rt }
+// Runtime exposes shard 0's live runtime (for Violations() and Stats()
+// in tests and diagnostics; with one shard it is the cluster).
+func (s *Server) Runtime() *rt.Runtime { return s.shards[0].rt }
 
-// Stats returns a snapshot of the service counters.
+// Shards returns the cluster's shard count.
+func (s *Server) Shards() int { return len(s.shards) }
+
+// Stats returns a cluster-total snapshot of the service counters.
 func (s *Server) Stats() Stats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	st := s.stats
-	st.Queued = s.queuedN
-	st.Inflight = s.inflight
-	st.Draining = s.draining
+	st := Stats{
+		Policy:   s.cfg.Policy,
+		Workers:  s.cfg.Workers,
+		Draining: s.draining,
+		Rejected: s.rejected,
+	}
+	s.mu.Unlock()
+	for _, sh := range s.shards {
+		sh.addTo(&st)
+	}
 	return st
 }
 
@@ -248,207 +291,9 @@ type rejection struct {
 	msg    string
 }
 
-// admit applies the admission policy to j: reject while draining,
-// reject when the tenant's queue or the global in-flight budget is
-// full, otherwise enqueue. Backpressure is immediate — nothing blocks.
-func (s *Server) admit(j *job) *rejection {
-	n := len(j.tasks)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	switch {
-	case s.draining:
-		return &rejection{status: 503, reason: "draining",
-			msg: "server is draining, not admitting new jobs"}
-	case s.queued[j.tenant]+n > s.cfg.QueueDepth:
-		return &rejection{status: 429, reason: "tenant_queue_full",
-			msg: fmt.Sprintf("tenant %q queue full (%d/%d tasks)", j.tenant, s.queued[j.tenant], s.cfg.QueueDepth)}
-	case s.inflight+n > s.cfg.MaxInFlight:
-		return &rejection{status: 429, reason: "inflight_budget",
-			msg: fmt.Sprintf("in-flight budget full (%d/%d tasks)", s.inflight, s.cfg.MaxInFlight)}
-	}
-	j.enqueued = time.Now()
-	s.pending = append(s.pending, j)
-	s.queued[j.tenant] += n
-	s.queuedN += n
-	s.inflight += n
-	s.stats.Admitted++
-	s.so.admitted.Inc()
-	s.so.queueDepth.With(j.tenant).Set(float64(s.queued[j.tenant]))
-	s.so.inflight.Set(float64(s.inflight))
-	if s.queuedN >= s.cfg.MaxBatch {
-		s.wakeBatcher()
-	}
-	return nil
-}
-
-func (s *Server) wakeBatcher() {
-	select {
-	case s.wake <- struct{}{}:
-	default:
-	}
-}
-
-// batcher is the single goroutine that forms and executes iterations.
-// rt.Runtime is batch-structured and not concurrency-safe, so all
-// RunBatch calls happen here.
-func (s *Server) batcher() {
-	tick := time.NewTicker(s.cfg.FlushEvery)
-	defer tick.Stop()
-	for {
-		select {
-		case <-s.wake:
-		case <-tick.C:
-		}
-		for s.flushOnce() {
-		}
-		s.mu.Lock()
-		done := s.draining && len(s.pending) == 0
-		s.mu.Unlock()
-		if done {
-			close(s.drained)
-			return
-		}
-	}
-}
-
-// flushOnce forms one batch from the head of the queue and runs it.
-// It reports whether any job left the queue (batched or expired), so
-// the batcher can loop until the backlog is gone.
-func (s *Server) flushOnce() bool {
-	now := time.Now()
-	var batch []*job
-	var expired []*job
-	tasks := 0
-
-	s.mu.Lock()
-	for len(s.pending) > 0 {
-		j := s.pending[0]
-		n := len(j.tasks)
-		if len(batch) > 0 && tasks+n > s.cfg.MaxBatch {
-			break
-		}
-		s.pending = s.pending[1:]
-		s.queued[j.tenant] -= n
-		s.queuedN -= n
-		s.so.queueDepth.With(j.tenant).Set(float64(s.queued[j.tenant]))
-		if j.expiredBy(now) {
-			// Deadline passed while queued: the job is dropped before
-			// any task starts.
-			s.inflight -= n
-			s.stats.Timeouts++
-			expired = append(expired, j)
-			continue
-		}
-		batch = append(batch, j)
-		tasks += n
-	}
-	s.so.inflight.Set(float64(s.inflight))
-	s.mu.Unlock()
-
-	for _, j := range expired {
-		s.so.timeouts.Inc()
-		j.finish(outcome{status: 504, err: "deadline expired while queued"})
-	}
-	if len(batch) == 0 {
-		return len(expired) > 0
-	}
-
-	// Workload-aware packing: heavier-hinted jobs first, so their
-	// classes are placed before the fine-grained filler (mirrors the
-	// descending-AvgWork order the CC table wants). Stable, so equal
-	// hints keep FIFO fairness.
-	sort.SliceStable(batch, func(i, k int) bool { return batch[i].req.WorkHintS > batch[k].req.WorkHintS })
-
-	all := s.arena.Get(tasks)
-	for _, j := range batch {
-		j.started = time.Now()
-		s.so.queueSecs.Observe(j.started.Sub(j.enqueued).Seconds())
-		all = append(all, j.tasks...)
-	}
-	bs := s.rt.RunBatch(all)
-	batchIdx := s.rt.Stats().Batches - 1
-
-	s.mu.Lock()
-	for _, j := range batch {
-		s.inflight -= len(j.tasks)
-	}
-	s.stats.Batches++
-	s.stats.Tasks += uint64(bs.Tasks - bs.Cancelled)
-	s.stats.Cancelled += uint64(bs.Cancelled)
-	s.so.inflight.Set(float64(s.inflight))
-	s.mu.Unlock()
-	s.so.tasksRun.Add(float64(bs.Tasks - bs.Cancelled))
-	s.so.tasksCancelled.Add(float64(bs.Cancelled))
-
-	// Per-tenant energy attribution: the runtime reports each class's
-	// busy-state energy (rt.ClassStats); split every class's share
-	// among the batch's jobs of that class, pro rata by executed
-	// tasks. The barrier has passed, so j.ran is final.
-	classRan := map[string]int{}
-	for _, j := range batch {
-		classRan[j.req.Func] += int(j.ran.Load())
-	}
-
-	done := time.Now()
-	for _, j := range batch {
-		ran := int(j.ran.Load())
-		var attr float64
-		if cs, ok := bs.Classes[j.req.Func]; ok && classRan[j.req.Func] > 0 {
-			attr = cs.EnergyJ * float64(ran) / float64(classRan[j.req.Func])
-		}
-		s.so.tenantEnergy.With(j.tenant).Add(attr)
-
-		// Close the request span: queue, batch-wait and execute phases,
-		// then end to end. Jobs whose every task was withdrawn have no
-		// payload timestamps and record only queue + e2e.
-		queueWait := j.started.Sub(j.enqueued).Seconds()
-		s.so.spanQueue.With(j.req.Func, j.tenant).Observe(queueWait)
-		if fs := j.firstStart.Load(); fs > 0 {
-			s.so.spanBatch.With(j.req.Func, j.tenant).Observe(float64(fs-j.started.UnixNano()) / 1e9)
-			s.so.spanExec.With(j.req.Func, j.tenant).Observe(float64(j.lastEnd.Load()-fs) / 1e9)
-		}
-		e2e := done.Sub(j.enqueued).Seconds()
-		s.so.spanE2E.With(j.req.Func, j.tenant).Observe(e2e)
-		s.latE2E.Observe(e2e)
-		s.latQueue.Observe(queueWait)
-
-		res := JobResult{
-			Job:         j.id,
-			Tenant:      j.tenant,
-			Func:        j.req.Func,
-			Tasks:       len(j.tasks),
-			TasksRun:    ran,
-			Batch:       batchIdx,
-			QueueMS:     queueWait * 1e3,
-			BatchMS:     bs.Wall.Seconds() * 1e3,
-			EnergyJ:     bs.Energy,
-			EnergyAttrJ: attr,
-			Steals:      bs.Steals,
-			Policy:      s.cfg.Policy,
-		}
-		if ran < len(j.tasks) {
-			// Some tasks were withdrawn mid-batch (deadline or client
-			// disconnect); report the job as timed out, with partials.
-			s.mu.Lock()
-			s.stats.Timeouts++
-			s.mu.Unlock()
-			s.so.timeouts.Inc()
-			j.finish(outcome{status: 504, err: "deadline expired mid-batch", res: &res})
-			continue
-		}
-		s.mu.Lock()
-		s.stats.Completed++
-		s.mu.Unlock()
-		s.so.completed.Inc()
-		j.finish(outcome{status: 200, res: &res})
-	}
-	s.arena.Put(all)
-	return true
-}
-
 // LatencySummary is the point-in-time percentile view of the service's
-// request latency, aggregated over every class and tenant since start.
-// All values are seconds.
+// request latency, aggregated over every class, tenant and shard since
+// start. All values are seconds.
 type LatencySummary struct {
 	Jobs     uint64  `json:"jobs"`
 	E2EMean  float64 `json:"e2e_mean_s"`
@@ -460,37 +305,58 @@ type LatencySummary struct {
 	QueueP99 float64 `json:"queue_p99_s"`
 }
 
-// LatencySummary snapshots the end-to-end and queue-wait distributions.
-// It covers every job a batch processed (completed or timed out); jobs
-// dropped unstarted are excluded. Safe to call concurrently with the
-// batcher — the histograms are lock-free.
+// LatencySummary snapshots the end-to-end and queue-wait distributions
+// across all shards. It covers every job a batch processed (completed
+// or timed out); jobs dropped unstarted are excluded. Safe to call
+// concurrently with the batchers — the histograms are lock-free.
 func (s *Server) LatencySummary() LatencySummary {
+	if len(s.shards) == 1 {
+		sh := s.shards[0]
+		return latencySummaryFrom(&sh.latE2E, &sh.latQueue)
+	}
+	var e2e, queue obs.LogHistogram
+	for _, sh := range s.shards {
+		e2e.Merge(&sh.latE2E)
+		queue.Merge(&sh.latQueue)
+	}
+	return latencySummaryFrom(&e2e, &queue)
+}
+
+func latencySummaryFrom(e2e, queue *obs.LogHistogram) LatencySummary {
 	return LatencySummary{
-		Jobs:     s.latE2E.Count(),
-		E2EMean:  s.latE2E.Mean(),
-		E2EP50:   s.latE2E.Quantile(0.50),
-		E2EP95:   s.latE2E.Quantile(0.95),
-		E2EP99:   s.latE2E.Quantile(0.99),
-		QueueP50: s.latQueue.Quantile(0.50),
-		QueueP95: s.latQueue.Quantile(0.95),
-		QueueP99: s.latQueue.Quantile(0.99),
+		Jobs:     e2e.Count(),
+		E2EMean:  e2e.Mean(),
+		E2EP50:   e2e.Quantile(0.50),
+		E2EP95:   e2e.Quantile(0.95),
+		E2EP99:   e2e.Quantile(0.99),
+		QueueP50: queue.Quantile(0.50),
+		QueueP95: queue.Quantile(0.95),
+		QueueP99: queue.Quantile(0.99),
 	}
 }
 
-// Drain stops admission, flushes every queued job into final batches,
-// waits for the last barrier and stops the batcher. It is what the
-// SIGTERM path of cmd/eewa-serve calls; it is safe to call more than
-// once. The context bounds the wait — on expiry the batcher keeps
-// draining in the background, but Drain returns the context error.
+// Drain stops admission cluster-wide, flushes every queued job on
+// every shard into final batches, waits for the last barriers and
+// stops the batchers. It is what the SIGTERM path of cmd/eewa-serve
+// calls; it is safe to call more than once. The context bounds the
+// wait — on expiry the batchers keep draining in the background, but
+// Drain returns the context error.
 func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
 	s.mu.Unlock()
-	s.wakeBatcher()
-	select {
-	case <-s.drained:
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
+	if len(s.shards) == 1 {
+		return s.shards[0].drain(ctx)
 	}
+	errs := make(chan error, len(s.shards))
+	for _, sh := range s.shards {
+		go func(sh *shard) { errs <- sh.drain(ctx) }(sh)
+	}
+	var first error
+	for range s.shards {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }

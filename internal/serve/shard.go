@@ -1,0 +1,498 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/obs"
+	"repro/internal/policy"
+	"repro/internal/profile"
+	"repro/internal/rt"
+)
+
+// shardConfig is one shard's slice of the cluster configuration. Every
+// bound (queue depth, in-flight budget, batch size) is per shard.
+type shardConfig struct {
+	index   int // shard index within the cluster
+	total   int // cluster shard count
+	workers int
+	mc      machine.Config // per-shard machine (ladder heterogeneity)
+	policy  string
+	offline *profile.Snapshot
+	seed    uint64
+
+	maxBatch    int
+	flushEvery  time.Duration
+	queueDepth  int
+	maxInFlight int
+	invariants  bool
+	reg         *obs.Registry
+}
+
+// shard is the unit the routing tier places work on: one live runtime
+// with its own frequency ladder, profile and policy instance, fronted
+// by the per-tenant bounded queue + interval batcher + graceful drain
+// that used to be the whole of Server. A single-shard cluster routes
+// every job here, making the routed server behave exactly like the
+// pre-router JobServer.
+type shard struct {
+	cfg shardConfig
+	rt  *rt.Runtime
+	so  *serveObs // shared across the cluster: families aggregate
+	ga  *gaugeAgg // shared: cluster-total queue-depth/in-flight gauges
+	ro  *routerObs
+
+	mu       sync.Mutex
+	pending  []*job
+	queued   map[string]int // tenant → queued task count
+	queuedN  int            // total queued tasks
+	inflight int            // queued + running tasks
+	draining bool
+	stats    Stats
+
+	// planClasses are the task classes profiled in the shard's last
+	// batch — exactly the classes its current plan allocated c-groups
+	// for. The class-aware router reads this to find "the shard whose
+	// current plan has headroom for this class".
+	planClasses map[string]struct{}
+
+	// Cluster energy roll-up, accumulated at each batch barrier:
+	// attributed is the per-class busy energy, overhead the remainder
+	// (search, dry spin, halt, base draw). attributed + overhead ==
+	// total by construction — the invariant the eewa_check build
+	// verifies cluster-wide.
+	energyTotalJ    float64
+	energyAttrJ     float64
+	energyOverheadJ float64
+
+	wake    chan struct{}
+	drained chan struct{}
+
+	// latE2E and latQueue aggregate end-to-end and queue-wait latency
+	// across every class and tenant; the cluster LatencySummary merges
+	// the per-shard histograms.
+	latE2E   obs.LogHistogram
+	latQueue obs.LogHistogram
+
+	// arena recycles the per-batch []rt.Task slab across flushes; only
+	// the batcher goroutine leases from it, and the slab is returned
+	// once the batch's outcomes have been delivered.
+	arena rt.TaskArena
+
+	// testBatchEnd, when non-nil, observes every batch's stats after the
+	// shard's own bookkeeping — the decision-parity tests record plans
+	// through it.
+	testBatchEnd func(batch int, bs rt.BatchStats)
+}
+
+// newShard builds the shard's policy and runtime and starts its
+// batcher goroutine.
+func newShard(cfg shardConfig, so *serveObs, ga *gaugeAgg, ro *routerObs) (*shard, error) {
+	mc := cfg.mc
+	mc.Cores = cfg.workers
+	if err := mc.Validate(); err != nil {
+		return nil, fmt.Errorf("serve: shard %d: %w", cfg.index, err)
+	}
+	pol, err := policy.New(cfg.policy, mc)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	if cfg.offline != nil {
+		if cfg.policy != policy.IDEEWA {
+			return nil, fmt.Errorf("serve: offline profile only applies to the %s policy, not %s", policy.IDEEWA, cfg.policy)
+		}
+		// Reject a corrupt snapshot loudly at startup: the EEWA policy
+		// would otherwise quietly ignore it (or worse, pre-fix, build a
+		// CC table without the indivisibility bound).
+		if err := cfg.offline.Validate(mc.Freqs); err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		pol.(*policy.EEWA).Offline = cfg.offline
+	}
+	sh := &shard{
+		cfg:         cfg,
+		so:          so,
+		ga:          ga,
+		ro:          ro,
+		queued:      map[string]int{},
+		planClasses: map[string]struct{}{},
+		wake:        make(chan struct{}, 1),
+		drained:     make(chan struct{}),
+	}
+	rcfg := rt.Config{
+		Workers:    cfg.workers,
+		Machine:    cfg.mc,
+		Impl:       pol,
+		Seed:       cfg.seed,
+		Obs:        cfg.reg,
+		Invariants: cfg.invariants,
+		Hooks: rt.Hooks{
+			BatchEnd: sh.batchEnd,
+		},
+	}
+	sh.rt, err = rt.New(rcfg)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	go sh.batcher()
+	return sh, nil
+}
+
+// batchEnd is the shard's runtime hook: cluster-family metrics, the
+// plan-class set the router consults, and the energy roll-up.
+func (sh *shard) batchEnd(batch int, bs rt.BatchStats) {
+	sh.so.batches.Inc()
+	sh.so.batchSecs.Observe(bs.Wall.Seconds())
+	sh.so.batchTasks.Observe(float64(bs.Tasks))
+
+	attr := 0.0
+	for _, cs := range bs.Classes {
+		attr += cs.EnergyJ
+	}
+	sh.mu.Lock()
+	// The next plan derives from this batch's profile, so these classes
+	// are the ones the shard's upcoming plan reserves c-groups for.
+	sh.planClasses = make(map[string]struct{}, len(bs.Classes))
+	for name := range bs.Classes {
+		sh.planClasses[name] = struct{}{}
+	}
+	sh.energyTotalJ += bs.Energy
+	sh.energyAttrJ += attr
+	sh.energyOverheadJ += bs.Energy - attr
+	sh.mu.Unlock()
+	sh.ro.shardEnergy(sh.cfg.index, bs.Energy)
+	if sh.testBatchEnd != nil {
+		sh.testBatchEnd(batch, bs)
+	}
+}
+
+// view is the router's snapshot of the shard for one placement
+// decision.
+type shardView struct {
+	idx      int
+	draining bool
+	headroom int  // maxInFlight − inflight
+	knows    bool // class is in the shard's current plan
+	fastest  float64
+}
+
+func (sh *shard) view(class string) shardView {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	_, knows := sh.planClasses[class]
+	return shardView{
+		idx:      sh.cfg.index,
+		draining: sh.draining,
+		headroom: sh.cfg.maxInFlight - sh.inflight,
+		knows:    knows,
+		fastest:  sh.cfg.mc.Freqs[0],
+	}
+}
+
+// admit applies the shard's admission policy to j: reject while
+// draining, reject when the tenant's queue or the in-flight budget is
+// full, otherwise enqueue. Backpressure is immediate — nothing blocks.
+func (sh *shard) admit(j *job) *rejection {
+	n := len(j.tasks)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	switch {
+	case sh.draining:
+		return &rejection{status: 503, reason: "draining",
+			msg: "server is draining, not admitting new jobs"}
+	case sh.queued[j.tenant]+n > sh.cfg.queueDepth:
+		return &rejection{status: 429, reason: "tenant_queue_full",
+			msg: fmt.Sprintf("tenant %q queue full (%d/%d tasks)", j.tenant, sh.queued[j.tenant], sh.cfg.queueDepth)}
+	case sh.inflight+n > sh.cfg.maxInFlight:
+		return &rejection{status: 429, reason: "inflight_budget",
+			msg: fmt.Sprintf("in-flight budget full (%d/%d tasks)", sh.inflight, sh.cfg.maxInFlight)}
+	}
+	j.enqueued = time.Now()
+	j.shard = sh.cfg.index
+	sh.pending = append(sh.pending, j)
+	sh.queued[j.tenant] += n
+	sh.queuedN += n
+	sh.inflight += n
+	sh.stats.Admitted++
+	sh.so.admitted.Inc()
+	sh.ga.queue(j.tenant, n)
+	sh.ga.flight(n)
+	sh.ro.shardInflight(sh.cfg.index, sh.inflight)
+	if sh.queuedN >= sh.cfg.maxBatch {
+		sh.wakeBatcher()
+	}
+	return nil
+}
+
+func (sh *shard) wakeBatcher() {
+	select {
+	case sh.wake <- struct{}{}:
+	default:
+	}
+}
+
+// batcher is the single goroutine that forms and executes iterations.
+// rt.Runtime is batch-structured and not concurrency-safe, so all
+// RunBatch calls happen here.
+func (sh *shard) batcher() {
+	tick := time.NewTicker(sh.cfg.flushEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-sh.wake:
+		case <-tick.C:
+		}
+		for sh.flushOnce() {
+		}
+		sh.mu.Lock()
+		done := sh.draining && len(sh.pending) == 0
+		sh.mu.Unlock()
+		if done {
+			close(sh.drained)
+			return
+		}
+	}
+}
+
+// flushOnce forms one batch from the head of the queue and runs it.
+// It reports whether any job left the queue (batched or expired), so
+// the batcher can loop until the backlog is gone.
+func (sh *shard) flushOnce() bool {
+	now := time.Now()
+	var batch []*job
+	var expired []*job
+	tasks, expiredTasks := 0, 0
+
+	sh.mu.Lock()
+	for len(sh.pending) > 0 {
+		j := sh.pending[0]
+		n := len(j.tasks)
+		if len(batch) > 0 && tasks+n > sh.cfg.maxBatch {
+			break
+		}
+		sh.pending = sh.pending[1:]
+		sh.queued[j.tenant] -= n
+		sh.queuedN -= n
+		sh.ga.queue(j.tenant, -n)
+		if j.expiredBy(now) {
+			// Deadline passed while queued: the job is dropped before
+			// any task starts.
+			sh.inflight -= n
+			sh.stats.Timeouts++
+			expired = append(expired, j)
+			expiredTasks += n
+			continue
+		}
+		batch = append(batch, j)
+		tasks += n
+	}
+	sh.ga.flight(-expiredTasks)
+	sh.ro.shardInflight(sh.cfg.index, sh.inflight)
+	sh.mu.Unlock()
+
+	for _, j := range expired {
+		sh.so.timeouts.Inc()
+		j.finish(outcome{status: 504, err: "deadline expired while queued"})
+	}
+	if len(batch) == 0 {
+		return len(expired) > 0
+	}
+
+	// Workload-aware packing: heavier-hinted jobs first, so their
+	// classes are placed before the fine-grained filler (mirrors the
+	// descending-AvgWork order the CC table wants). Stable, so equal
+	// hints keep FIFO fairness.
+	sort.SliceStable(batch, func(i, k int) bool { return batch[i].req.WorkHintS > batch[k].req.WorkHintS })
+
+	all := sh.arena.Get(tasks)
+	for _, j := range batch {
+		j.started = time.Now()
+		sh.so.queueSecs.Observe(j.started.Sub(j.enqueued).Seconds())
+		all = append(all, j.tasks...)
+	}
+	bs := sh.rt.RunBatch(all)
+	batchIdx := sh.rt.Stats().Batches - 1
+
+	sh.mu.Lock()
+	for _, j := range batch {
+		sh.inflight -= len(j.tasks)
+	}
+	sh.stats.Batches++
+	sh.stats.Tasks += uint64(bs.Tasks - bs.Cancelled)
+	sh.stats.Cancelled += uint64(bs.Cancelled)
+	sh.ga.flight(-tasks)
+	sh.ro.shardInflight(sh.cfg.index, sh.inflight)
+	sh.mu.Unlock()
+	sh.so.tasksRun.Add(float64(bs.Tasks - bs.Cancelled))
+	sh.so.tasksCancelled.Add(float64(bs.Cancelled))
+
+	// Per-tenant energy attribution: the runtime reports each class's
+	// busy-state energy (rt.ClassStats); split every class's share
+	// among the batch's jobs of that class, pro rata by executed
+	// tasks. The barrier has passed, so j.ran is final.
+	classRan := map[string]int{}
+	for _, j := range batch {
+		classRan[j.req.Func] += int(j.ran.Load())
+	}
+
+	done := time.Now()
+	for _, j := range batch {
+		ran := int(j.ran.Load())
+		var attr float64
+		if cs, ok := bs.Classes[j.req.Func]; ok && classRan[j.req.Func] > 0 {
+			attr = cs.EnergyJ * float64(ran) / float64(classRan[j.req.Func])
+		}
+		sh.so.tenantEnergy.With(j.tenant).Add(attr)
+
+		// Close the request span: queue, batch-wait and execute phases,
+		// then end to end. Jobs whose every task was withdrawn have no
+		// payload timestamps and record only queue + e2e.
+		queueWait := j.started.Sub(j.enqueued).Seconds()
+		sh.so.spanQueue.With(j.req.Func, j.tenant).Observe(queueWait)
+		if fs := j.firstStart.Load(); fs > 0 {
+			sh.so.spanBatch.With(j.req.Func, j.tenant).Observe(float64(fs-j.started.UnixNano()) / 1e9)
+			sh.so.spanExec.With(j.req.Func, j.tenant).Observe(float64(j.lastEnd.Load()-fs) / 1e9)
+		}
+		e2e := done.Sub(j.enqueued).Seconds()
+		sh.so.spanE2E.With(j.req.Func, j.tenant).Observe(e2e)
+		sh.latE2E.Observe(e2e)
+		sh.latQueue.Observe(queueWait)
+
+		res := JobResult{
+			Job:         j.id,
+			Tenant:      j.tenant,
+			Func:        j.req.Func,
+			Tasks:       len(j.tasks),
+			TasksRun:    ran,
+			Batch:       batchIdx,
+			QueueMS:     queueWait * 1e3,
+			BatchMS:     bs.Wall.Seconds() * 1e3,
+			EnergyJ:     bs.Energy,
+			EnergyAttrJ: attr,
+			Steals:      bs.Steals,
+			Policy:      sh.cfg.policy,
+		}
+		if sh.cfg.total > 1 {
+			idx := sh.cfg.index
+			res.Shard = &idx
+		}
+		if ran < len(j.tasks) {
+			// Some tasks were withdrawn mid-batch (deadline or client
+			// disconnect); report the job as timed out, with partials.
+			sh.mu.Lock()
+			sh.stats.Timeouts++
+			sh.mu.Unlock()
+			sh.so.timeouts.Inc()
+			j.finish(outcome{status: 504, err: "deadline expired mid-batch", res: &res})
+			continue
+		}
+		sh.mu.Lock()
+		sh.stats.Completed++
+		sh.mu.Unlock()
+		sh.so.completed.Inc()
+		j.finish(outcome{status: 200, res: &res})
+	}
+	sh.arena.Put(all)
+	return true
+}
+
+// drain stops admission on this shard, flushes every queued job into
+// final batches, waits for the last barrier and stops the batcher. Safe
+// to call more than once. The context bounds the wait — on expiry the
+// batcher keeps draining in the background.
+func (sh *shard) drain(ctx context.Context) error {
+	sh.mu.Lock()
+	sh.draining = true
+	sh.mu.Unlock()
+	sh.ro.shardDraining(sh.cfg.index, true)
+	sh.wakeBatcher()
+	select {
+	case <-sh.drained:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// snapshot returns the shard's point-in-time counters.
+func (sh *shard) snapshot() ShardStats {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	classes := make([]string, 0, len(sh.planClasses))
+	for c := range sh.planClasses {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	return ShardStats{
+		Shard:       sh.cfg.index,
+		Workers:     sh.cfg.workers,
+		FastestGHz:  sh.cfg.mc.Freqs[0],
+		Draining:    sh.draining,
+		Queued:      sh.queuedN,
+		Inflight:    sh.inflight,
+		Admitted:    sh.stats.Admitted,
+		Completed:   sh.stats.Completed,
+		Timeouts:    sh.stats.Timeouts,
+		Batches:     sh.stats.Batches,
+		Tasks:       sh.stats.Tasks,
+		Cancelled:   sh.stats.Cancelled,
+		PlanClasses: classes,
+		EnergyJ:     sh.energyTotalJ,
+		EnergyAttrJ: sh.energyAttrJ,
+		OverheadJ:   sh.energyOverheadJ,
+	}
+}
+
+// addTo folds the shard's counters into the cluster Stats.
+func (sh *shard) addTo(st *Stats) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st.Queued += sh.queuedN
+	st.Inflight += sh.inflight
+	st.Admitted += sh.stats.Admitted
+	st.Completed += sh.stats.Completed
+	st.Timeouts += sh.stats.Timeouts
+	st.Batches += sh.stats.Batches
+	st.Tasks += sh.stats.Tasks
+	st.Cancelled += sh.stats.Cancelled
+}
+
+// gaugeAgg maintains the cluster-total queue-depth and in-flight
+// gauges. Shards hold their own counts under their own locks; the
+// aggregate applies signed deltas so the exported values are cluster
+// totals — and, for a single shard, exactly the pre-router values.
+type gaugeAgg struct {
+	mu       sync.Mutex
+	queued   map[string]int
+	inflight int
+	qd       *obs.GaugeVec
+	inf      *obs.Gauge
+}
+
+func newGaugeAgg(so *serveObs) *gaugeAgg {
+	return &gaugeAgg{queued: map[string]int{}, qd: so.queueDepth, inf: so.inflight}
+}
+
+// queue applies a delta to the tenant's cluster queued-task count.
+func (g *gaugeAgg) queue(tenant string, d int) {
+	g.mu.Lock()
+	g.queued[tenant] += d
+	v := g.queued[tenant]
+	g.mu.Unlock()
+	g.qd.With(tenant).Set(float64(v))
+}
+
+// flight applies a delta to the cluster in-flight count (d may be 0:
+// the batch-formation path re-publishes the gauge after expiries, as
+// the pre-router server did).
+func (g *gaugeAgg) flight(d int) {
+	g.mu.Lock()
+	g.inflight += d
+	v := g.inflight
+	g.mu.Unlock()
+	g.inf.Set(float64(v))
+}

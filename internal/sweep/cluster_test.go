@@ -1,0 +1,304 @@
+package sweep
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/task"
+	"repro/internal/workloads"
+)
+
+func smallClusterGrid() ClusterGrid {
+	return ClusterGrid{
+		Benchmarks:   []string{"md5"},
+		Policies:     []string{"cilk", "eewa"},
+		Shards:       []int{1, 2},
+		Routings:     []string{ClusterRouteClass, ClusterRouteRR},
+		LadderSplits: []string{SplitUniform},
+		Cores:        []int{8},
+		Seeds:        []uint64{1},
+	}
+}
+
+func TestRunClusterSmallGrid(t *testing.T) {
+	cells, err := RunClusterCells(smallClusterGrid(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 8 {
+		t.Fatalf("got %d cells, want 8 (2 policies × 2 shards × 2 routings)", len(cells))
+	}
+	for _, c := range cells {
+		if c.Makespan <= 0 || c.Energy <= 0 || c.ActiveShards == 0 {
+			t.Errorf("degenerate cell %+v", c)
+		}
+		if c.ActiveShards > c.Shards {
+			t.Errorf("more active shards than shards: %+v", c)
+		}
+		if c.Imbalance < 1 {
+			t.Errorf("imbalance %g < 1 (max/mean cannot undercut the mean): %+v", c.Imbalance, c)
+		}
+		var sum float64
+		for _, e := range c.ShardEnergies {
+			sum += e
+		}
+		if diff := sum - c.Energy; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("shard energies sum %g ≠ cell energy %g", sum, c.Energy)
+		}
+	}
+}
+
+// The parity contract the -cluster acceptance clause demands: any
+// worker count yields byte-for-byte the sequential cells, modulo wall
+// clock.
+func TestClusterParallelParity(t *testing.T) {
+	g := smallClusterGrid()
+	seq, err := RunClusterCells(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range []int{2, 8} {
+		par, err := RunClusterCells(g, j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := clusterJSON(t, par), clusterJSON(t, seq); got != want {
+			t.Errorf("-j %d diverged from -j 1:\n%s\nvs\n%s", j, got, want)
+		}
+	}
+}
+
+func clusterJSON(t *testing.T, cells []ClusterCell) string {
+	t.Helper()
+	c2 := append([]ClusterCell(nil), cells...)
+	for i := range c2 {
+		c2[i].WallNS = 0
+	}
+	var buf bytes.Buffer
+	if err := WriteClusterCellsJSON(&buf, c2); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// Adding a routing or width to the grid must not reseed anyone else's
+// cells — the cluster cell seed derives from identity, not grid shape.
+func TestClusterCellSeedGridShapeIndependent(t *testing.T) {
+	small, err := RunClusterCells(ClusterGrid{
+		Benchmarks: []string{"md5"}, Policies: []string{"eewa"},
+		Shards: []int{2}, Routings: []string{ClusterRouteClass},
+		LadderSplits: []string{SplitUniform}, Cores: []int{8}, Seeds: []uint64{1},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := RunClusterCells(ClusterGrid{
+		Benchmarks: []string{"lzw", "md5"}, Policies: []string{"cilk", "eewa"},
+		Shards: []int{1, 2, 4}, Routings: ClusterRoutings(),
+		LadderSplits: LadderSplits(), Cores: []int{8}, Seeds: []uint64{3, 1},
+	}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := small[0]
+	for _, c := range big {
+		if c.Benchmark == want.Benchmark && c.Policy == want.Policy &&
+			c.Routing == want.Routing && c.LadderSplit == want.LadderSplit &&
+			c.Shards == want.Shards && c.Cores == want.Cores && c.Seed == want.Seed {
+			c.WallNS, want.WallNS = 0, 0
+			if clusterJSON(t, []ClusterCell{c}) != clusterJSON(t, []ClusterCell{want}) {
+				t.Errorf("cell outcome depends on grid shape:\n%+v\n%+v", c, want)
+			}
+			return
+		}
+	}
+	t.Fatal("shared cell not found in the bigger grid")
+}
+
+func TestClusterGridValidate(t *testing.T) {
+	bad := []ClusterGrid{
+		{Shards: []int{0}},
+		{Shards: []int{-2}},
+		{Cores: []int{0}},
+		{Routings: []string{"teleport"}},
+		{LadderSplits: []string{"diagonal"}},
+	}
+	for i, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Errorf("case %d: invalid grid accepted: %+v", i, g)
+		}
+	}
+	if err := (ClusterGrid{}.withDefaults()).Validate(); err != nil {
+		t.Errorf("default grid invalid: %v", err)
+	}
+	if _, err := RunClusterCells(ClusterGrid{Benchmarks: []string{"md5"}, Shards: []int{0}}, 1); err == nil {
+		t.Error("RunClusterCells must validate the grid")
+	}
+}
+
+// splitWorkload invariants per routing: task conservation within each
+// batch, no empty batches, and the policy-specific placement shapes.
+func TestSplitWorkload(t *testing.T) {
+	b, err := workloads.ByName("md5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := b.Workload(1)
+	total := 0
+	for _, batch := range w.Batches {
+		total += len(batch.Tasks)
+	}
+	base := machine.Generic(8)
+	mcs := []machine.Config{base, base, base}
+
+	for _, routing := range ClusterRoutings() {
+		parts := splitWorkload(w, mcs, routing)
+		if len(parts) != 3 {
+			t.Fatalf("%s: %d parts", routing, len(parts))
+		}
+		got := 0
+		for i, part := range parts {
+			if part == nil {
+				continue
+			}
+			if err := part.Validate(); err != nil {
+				t.Errorf("%s shard %d: split produced an invalid workload: %v", routing, i, err)
+			}
+			for _, batch := range part.Batches {
+				if len(batch.Tasks) == 0 {
+					t.Errorf("%s shard %d: empty batch survived the split", routing, i)
+				}
+				got += len(batch.Tasks)
+			}
+		}
+		if got != total {
+			t.Errorf("%s: split lost tasks: %d of %d", routing, got, total)
+		}
+	}
+
+	// Round-robin on a single synthetic batch spreads tasks evenly.
+	syn := &task.Workload{Name: "syn", Batches: []task.Batch{{Tasks: make([]task.Task, 9)}}}
+	for i := range syn.Batches[0].Tasks {
+		syn.Batches[0].Tasks[i] = task.Task{Class: "a", Work: 1e-3}
+	}
+	parts := splitWorkload(syn, mcs, ClusterRouteRR)
+	for i, part := range parts {
+		if part == nil || len(part.Batches[0].Tasks) != 3 {
+			t.Errorf("rr shard %d got %+v, want 3 tasks", i, part)
+		}
+	}
+
+	// Class routing keeps a class's tasks on one shard per batch.
+	syn2 := &task.Workload{Name: "syn2", Batches: []task.Batch{{Tasks: []task.Task{
+		{Class: "a", Work: 4e-3}, {Class: "a", Work: 4e-3},
+		{Class: "b", Work: 1e-3}, {Class: "b", Work: 1e-3},
+	}}}}
+	parts = splitWorkload(syn2, mcs, ClusterRouteClass)
+	seen := map[string]int{}
+	for i, part := range parts {
+		if part == nil {
+			continue
+		}
+		for _, tk := range part.Batches[0].Tasks {
+			if prev, ok := seen[tk.Class]; ok && prev != i {
+				t.Errorf("class %q split across shards %d and %d", tk.Class, prev, i)
+			}
+			seen[tk.Class] = i
+		}
+	}
+	if seen["a"] == seen["b"] {
+		t.Error("class routing put both classes on one shard with two idle")
+	}
+}
+
+// A single-shard cluster cell must agree with the flat sweep's grid on
+// outcome shape: one active shard holding the whole workload.
+func TestClusterSingleShardDegenerates(t *testing.T) {
+	cells, err := RunClusterCells(ClusterGrid{
+		Benchmarks: []string{"md5"}, Policies: []string{"eewa"},
+		Shards: []int{1}, Routings: ClusterRoutings(),
+		LadderSplits: []string{SplitUniform}, Cores: []int{8}, Seeds: []uint64{1},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All three routings degenerate to the same single-shard placement.
+	a := cells[0]
+	for _, c := range cells[1:] {
+		if c.Makespan != a.Makespan || c.Energy != a.Energy || c.Steals != a.Steals {
+			t.Errorf("1-shard outcomes differ across routings:\n%+v\n%+v", a, c)
+		}
+	}
+	if a.ActiveShards != 1 || a.Imbalance != 1 {
+		t.Errorf("single-shard cell %+v", a)
+	}
+}
+
+func TestAggregateClusterNormalization(t *testing.T) {
+	// "least" spreads tasks regardless of class mix, so two shards must
+	// strictly beat one on makespan even for a single-class benchmark.
+	cells, err := RunClusterCells(ClusterGrid{
+		Benchmarks: []string{"md5"}, Policies: []string{"eewa"},
+		Shards: []int{1, 2}, Routings: []string{ClusterRouteLeast},
+		LadderSplits: []string{SplitUniform}, Cores: []int{8}, Seeds: []uint64{1, 2},
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := AggregateCluster(cells)
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	for _, r := range recs {
+		if r.Runs != 2 {
+			t.Errorf("runs = %d, want 2 seeds folded: %+v", r.Runs, r)
+		}
+		switch r.Shards {
+		case 1:
+			if r.NormTime != 1 || r.NormEnergy != 1 {
+				t.Errorf("1-shard row must normalize to itself: %+v", r)
+			}
+		case 2:
+			if r.NormTime <= 0 || r.NormTime >= 1 {
+				t.Errorf("2 shards should beat 1 on makespan: norm_time %g", r.NormTime)
+			}
+			if r.NormEnergy <= 0 {
+				t.Errorf("norm energy unset: %+v", r)
+			}
+		}
+	}
+}
+
+func TestWriteClusterCSVAndTable(t *testing.T) {
+	cells, err := RunClusterCells(smallClusterGrid(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := AggregateCluster(cells)
+	var csv bytes.Buffer
+	if err := WriteClusterCSV(&csv, recs); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != len(recs)+1 {
+		t.Fatalf("CSV lines = %d, want %d", len(lines), len(recs)+1)
+	}
+	if !strings.HasPrefix(lines[0], "benchmark,policy,routing,ladder_split,shards") {
+		t.Errorf("header = %q", lines[0])
+	}
+	wantCommas := strings.Count(lines[0], ",")
+	for _, l := range lines[1:] {
+		if n := strings.Count(l, ","); n != wantCommas {
+			t.Errorf("row %q has %d commas, want %d", l, n, wantCommas)
+		}
+	}
+	var tbl bytes.Buffer
+	if err := WriteClusterTable(&tbl, recs); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tbl.String(), "md5") || !strings.Contains(tbl.String(), "shards") {
+		t.Errorf("table output:\n%s", tbl.String())
+	}
+}

@@ -159,25 +159,23 @@ func (c Cell) run() (Cell, error) {
 	return c, nil
 }
 
-// RunCells executes the grid's cells on a pool of `workers` goroutines
-// (0 or less means GOMAXPROCS) and returns them in canonical
-// enumeration order. Each worker claims the next unstarted cell off a
-// shared atomic cursor and writes its result into the cell's own slot,
-// so the merge is a no-op and the output is identical — modulo WallNS —
-// for every worker count, including 1. On error the first failing cell
-// in canonical order wins (also independent of scheduling).
-func RunCells(g Grid, workers int) ([]Cell, error) {
-	g = g.withDefaults()
-	cells := enumerate(g)
+// runPool executes run over items on a pool of `workers` goroutines
+// (0 or less means GOMAXPROCS) and returns results in input order.
+// Each worker claims the next unstarted item off a shared atomic
+// cursor and writes its result into the item's own slot, so the merge
+// is a no-op and the output is identical for every worker count,
+// including 1. On error the first failing item in input order wins
+// (also independent of scheduling). Both the flat policy sweep and the
+// cluster topology sweep fan out through here.
+func runPool[T any](items []T, workers int, run func(T) (T, error)) ([]T, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(cells) {
-		workers = len(cells)
+	if workers > len(items) {
+		workers = len(items)
 	}
-
-	results := make([]Cell, len(cells))
-	errs := make([]error, len(cells))
+	results := make([]T, len(items))
+	errs := make([]error, len(items))
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -186,10 +184,10 @@ func RunCells(g Grid, workers int) ([]Cell, error) {
 			defer wg.Done()
 			for {
 				i := int(cursor.Add(1)) - 1
-				if i >= len(cells) {
+				if i >= len(items) {
 					return
 				}
-				results[i], errs[i] = cells[i].run()
+				results[i], errs[i] = run(items[i])
 			}
 		}()
 	}
@@ -200,6 +198,15 @@ func RunCells(g Grid, workers int) ([]Cell, error) {
 		}
 	}
 	return results, nil
+}
+
+// RunCells executes the grid's cells on a pool of `workers` goroutines
+// (0 or less means GOMAXPROCS) and returns them in canonical
+// enumeration order, bit-identical — modulo WallNS — for every worker
+// count.
+func RunCells(g Grid, workers int) ([]Cell, error) {
+	g = g.withDefaults()
+	return runPool(enumerate(g), workers, Cell.run)
 }
 
 // Run executes the grid sequentially. Cells are deterministic per seed;
@@ -280,9 +287,13 @@ func Aggregate(cells []Cell) []Record {
 // the machine-readable sweep output, including each cell's host wall
 // time for profiling the parallel driver.
 func WriteCellsJSON(w io.Writer, cells []Cell) error {
+	return writeJSONArray(w, cells)
+}
+
+func writeJSONArray[T any](w io.Writer, items []T) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(cells)
+	return enc.Encode(items)
 }
 
 // WriteCSV emits the records with a header row.

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-check sweep sweep-parity cluster-sweep cluster-demo check check-long cover experiments examples obs-demo serve-demo density density-smoke clean
+.PHONY: all build vet test race bench bench-check sweep sweep-parity cluster-sweep cluster-demo check check-long cover experiments examples obs-demo serve-demo density density-smoke traffic-smoke clean
 
 all: build vet test
 
@@ -124,6 +124,21 @@ density-smoke:
 	@grep -q '"version": 1' BENCH_density.json
 	@echo "density smoke OK: BENCH_density.json written"
 
+# Traffic harness smoke: generate the 5 s golden diurnal trace, verify
+# it is byte-identical to the checked-in fixture (generator/RNG drift
+# gate), then replay it through the sim and the real serve pipeline
+# with -check, which replays each engine twice and fails unless the
+# canonical per-tenant outcome logs (200/429/504 counts, batch
+# composition) are byte-identical. Outcome conservation — every event
+# resolving to exactly one status — is asserted inside the replayers.
+traffic-smoke:
+	$(GO) run ./cmd/eewa-traffic generate -golden -out traffic_golden.json
+	cmp traffic_golden.json internal/traffic/testdata/golden.json
+	$(GO) run ./cmd/eewa-traffic replay -in traffic_golden.json -engine sim -check -out /dev/null
+	$(GO) run ./cmd/eewa-traffic replay -in traffic_golden.json -engine serve -check -workers 4 -out /dev/null
+	rm -f traffic_golden.json
+	@echo "traffic smoke OK: golden fixture stable, sim + serve replays deterministic"
+
 # Reproduction artifacts referenced from EXPERIMENTS.md.
 artifacts:
 	$(GO) test ./... 2>&1 | tee test_output.txt
@@ -134,3 +149,4 @@ clean:
 	rm -f test_output.txt bench_output.txt obs_metrics.prom obs_trace.json serve_metrics.prom
 	rm -f sweep.csv sweep_cells.json sweep_j1.csv sweep_jN.csv
 	rm -f cluster.csv cluster_cells.json cluster_j1.csv cluster_jN.csv
+	rm -f traffic_golden.json

@@ -53,6 +53,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/serve"
 	"repro/internal/task"
+	"repro/internal/traffic"
 )
 
 func main() {
@@ -76,6 +77,7 @@ func main() {
 		jobTasks   = flag.Int("job-tasks", 8, "serve: tasks per submitted job")
 		sizeBytes  = flag.Int("size-bytes", 65536, "serve: corpus bytes per task")
 		funcName   = flag.String("func", "dmc", "serve: kernel to drive (one of the servable funcs)")
+		traceIn    = flag.String("trace-in", "", "serve: replay this traffic trace instead of synthetic load; -load-mults become time-compression factors over the trace's native rate")
 	)
 	flag.Parse()
 
@@ -98,6 +100,21 @@ func main() {
 	shardCounts, err := parseInts(*shardsList)
 	if err != nil {
 		log.Fatalf("-shards: %v", err)
+	}
+	var trace *traffic.Trace
+	if *traceIn != "" {
+		f, err := os.Open(*traceIn)
+		if err != nil {
+			log.Fatalf("-trace-in: %v", err)
+		}
+		trace, err = traffic.Decode(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("-trace-in: %v", err)
+		}
+		log.Printf("trace %q: %d events, %d tasks over %.1fs (native %.0f tasks/s)",
+			trace.Name, len(trace.Events), trace.TotalTasks(), trace.DurationS,
+			float64(trace.TotalTasks())/trace.DurationS)
 	}
 
 	dbg := newSwapHandler()
@@ -127,6 +144,21 @@ func main() {
 					policy: pol, workers: *cores, shards: shards, seed: *seed,
 					jobTasks: *jobTasks, sizeBytes: *sizeBytes, fn: *funcName,
 					cellDur: time.Duration(*cellMS) * time.Millisecond,
+				}
+				if trace != nil {
+					// Trace-driven sweep: the load axis is time compression —
+					// each multiple replays the same arrivals, deadlines and
+					// class mix, only faster. No calibration: the trace's
+					// native rate is the 1x point.
+					for _, mult := range multList {
+						cell, err := sc.traceCell(trace, mult, dbg)
+						if err != nil {
+							log.Fatalf("serve %s shards %d speed %.2fx: %v", pol, shards, mult, err)
+						}
+						logCell(cell)
+						rep.Add(cell)
+					}
+					continue
 				}
 				// Capacity is calibrated per topology: a wider cluster
 				// absorbs more closed-loop load, and each width's open-loop
@@ -368,6 +400,61 @@ func (sc *serveSweep) cell(loadTPS float64, dbg *swapHandler) (density.Cell, err
 		// per-task cost of the full submission path, not the runtime
 		// alone.
 		cell.AllocsPerTask = float64(m1.Mallocs-m0.Mallocs) / float64(st.Tasks)
+	}
+	return cell, nil
+}
+
+// traceCell drives one trace-replay load step: the whole trace,
+// wall-clock open-loop, compressed by `speed`. Offered load scales
+// with speed while arrival structure (bursts, diurnal waves, tenant
+// mix, deadlines) stays fixed — the knee this axis finds is "how much
+// faster than recorded can this topology absorb the same traffic".
+func (sc *serveSweep) traceCell(tr *traffic.Trace, speed float64, dbg *swapHandler) (density.Cell, error) {
+	reg := obs.NewRegistry()
+	dbg.set(reg)
+	srv, err := sc.newServer(reg)
+	if err != nil {
+		return density.Cell{}, err
+	}
+	h := srv.Handler()
+
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	begin := time.Now()
+	st, err := traffic.ReplayWall(context.Background(), h, tr, speed)
+	if err != nil {
+		return density.Cell{}, err
+	}
+	if err := drain(srv); err != nil {
+		return density.Cell{}, err
+	}
+	wall := time.Since(begin).Seconds()
+	runtime.ReadMemStats(&m1)
+
+	stats := srv.Stats()
+	sum := srv.LatencySummary()
+	loadTPS := float64(tr.TotalTasks()) / tr.DurationS * speed
+	cell := density.Cell{
+		Engine: "serve", Policy: sc.policy,
+		Depth: 512 * sc.shards, LoadTPS: loadTPS,
+		Tasks: int(stats.Tasks), WallS: wall,
+		P50S: sum.E2EP50, P95S: sum.E2EP95, P99S: sum.E2EP99,
+		EnergyJ:  srv.EnergyRollup().TotalJ,
+		Rejected: stats.Rejected,
+	}
+	if sc.shards > 1 {
+		cell.Shards = sc.shards
+	}
+	if wall > 0 {
+		cell.RateTPS = float64(stats.Tasks) / wall
+	}
+	if stats.Tasks > 0 {
+		cell.AllocsPerTask = float64(m1.Mallocs-m0.Mallocs) / float64(stats.Tasks)
+	}
+	if st.Late > 0 {
+		log.Printf("serve/%-6s shards=%d speed=%.2fx: driver fell behind on %d/%d events",
+			sc.policy, sc.shards, speed, st.Late, st.Submitted)
 	}
 	return cell, nil
 }

@@ -47,6 +47,7 @@ import (
 	"repro/internal/policy"
 	"repro/internal/profile"
 	"repro/internal/serve"
+	"repro/internal/traffic"
 )
 
 func main() {
@@ -66,6 +67,7 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 512, "global in-flight task budget")
 	goMetrics := flag.Bool("go-metrics", false, "bridge runtime/metrics (goroutines, heap, GC, sched latency) into /metrics as eewa_go_* gauges")
 	metricsOut := flag.String("metrics-out", "", "write a final Prometheus metrics snapshot here on drain")
+	captureOut := flag.String("capture-out", "", "record job submissions and write them as a replayable traffic trace here on drain")
 	drainSecs := flag.Int("drain-timeout", 60, "seconds to wait for the drain to finish")
 	demo := flag.Bool("demo", false, "drive a burst of submissions against the server, print the outcome, drain and exit")
 	flag.Parse()
@@ -132,7 +134,13 @@ func main() {
 		log.Fatal(err)
 	}
 
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	handler := srv.Handler()
+	var capture *traffic.Capture
+	if *captureOut != "" {
+		capture = traffic.NewCapture(handler)
+		handler = capture
+	}
+	hs := &http.Server{Addr: *addr, Handler: handler, ReadHeaderTimeout: 10 * time.Second}
 	if *demo {
 		hs.Addr = "127.0.0.1:0"
 	}
@@ -181,6 +189,17 @@ func main() {
 		roll := srv.EnergyRollup()
 		log.Printf("cluster energy: %.1f J total (%.1f attributed, %.1f overhead) across %d shards",
 			roll.TotalJ, roll.AttributedJ, roll.OverheadJ, srv.Shards())
+	}
+	if capture != nil {
+		tr := capture.Trace("eewa-serve-capture")
+		var buf bytes.Buffer
+		if err := traffic.Encode(&buf, tr); err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*captureOut, buf.Bytes(), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("captured %d submissions over %.1fs → %s (replay with eewa-traffic)", len(tr.Events), tr.DurationS, *captureOut)
 	}
 	if *metricsOut != "" {
 		var buf bytes.Buffer

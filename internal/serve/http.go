@@ -83,13 +83,16 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if rej := s.route(j); rej != nil {
-		s.mu.Lock()
-		s.rejected++
-		s.mu.Unlock()
-		s.so.rejected.With(rej.reason).Inc()
+		s.noteRejection(rej)
+		if rej.Status == http.StatusGatewayTimeout {
+			// Admission fast-fail: the deadline had already passed, so
+			// there is no point hinting a retry of the same request.
+			writeJSON(w, rej.Status, errorBody{Error: rej.Msg})
+			return
+		}
 		ra := s.retryAfterSeconds()
 		w.Header().Set("Retry-After", fmt.Sprintf("%d", ra))
-		writeJSON(w, rej.status, errorBody{Error: rej.msg, RetryAfter: ra})
+		writeJSON(w, rej.Status, errorBody{Error: rej.Msg, RetryAfter: ra})
 		return
 	}
 
@@ -98,8 +101,11 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	// the job is cancelled: unstarted tasks are dropped at batch
 	// formation or withdrawn mid-batch via the runtime hook, and the
 	// batcher's eventual outcome goes to the buffered channel unheard.
+	// Under a virtual clock (Config.Clock, trace replay) the wall-time
+	// early-504 timer is meaningless and stays nil; queued expiry is
+	// then decided at batch formation, in virtual time.
 	var deadlineC <-chan time.Time
-	if !j.deadline.IsZero() {
+	if !j.deadline.IsZero() && s.cfg.Clock == nil {
 		timer := time.NewTimer(time.Until(j.deadline))
 		defer timer.Stop()
 		deadlineC = timer.C
@@ -123,9 +129,15 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		// Respond now; the batcher still owns the job and will count
 		// the timeout exactly once when it processes (and drops) it.
 		j.cancelled.Store(true)
+		s.so.cancelled.With("deadline").Inc()
 		writeJSON(w, http.StatusGatewayTimeout, errorBody{Error: "deadline expired"})
 	case <-r.Context().Done():
+		// Client hung up. Before this counter existed the disconnect
+		// was invisible: `cancelled` was set and nothing else moved, so
+		// disconnect-driven withdrawals were indistinguishable from
+		// deadline drops in the eewa_serve_* families.
 		j.cancelled.Store(true)
+		s.so.cancelled.With("disconnect").Inc()
 	}
 }
 

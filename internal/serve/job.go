@@ -31,6 +31,12 @@ type JobRequest struct {
 	// (504); tasks not yet started when it expires mid-batch are
 	// withdrawn through the runtime's cancellation hook.
 	DeadlineMS int64 `json:"deadline_ms"`
+	// DeadlineAtMS, when > 0, is an absolute deadline in epoch
+	// milliseconds (mutually exclusive with DeadlineMS). Client-side
+	// timestamping and trace replay use it; a job whose absolute
+	// deadline has already passed at admission is fast-failed with 504
+	// before it can occupy a queue or batch slot.
+	DeadlineAtMS int64 `json:"deadline_at_ms,omitempty"`
 	// WorkHintS is an optional per-task workload hint in seconds at
 	// F0 (the paper's offline-profiling spirit): the batcher packs
 	// heavier-hinted jobs first. Zero is fine.
@@ -39,19 +45,19 @@ type JobRequest struct {
 
 // JobResult is the success (and partial-timeout) response body.
 type JobResult struct {
-	Job      uint64  `json:"job"`
-	Tenant   string  `json:"tenant"`
-	Func     string  `json:"func"`
-	Tasks    int     `json:"tasks"`
-	TasksRun int     `json:"tasks_run"`
-	Batch    int     `json:"batch"`
+	Job      uint64 `json:"job"`
+	Tenant   string `json:"tenant"`
+	Func     string `json:"func"`
+	Tasks    int    `json:"tasks"`
+	TasksRun int    `json:"tasks_run"`
+	Batch    int    `json:"batch"`
 	// Shard is the runtime shard the routing tier placed the job on.
 	// Nil (omitted) in single-shard clusters, so those responses stay
 	// byte-identical to the pre-router wire format; a pointer, not a
 	// bare int, so shard 0 still serializes in a real cluster.
 	Shard   *int    `json:"shard,omitempty"`
 	QueueMS float64 `json:"queue_ms"`
-	BatchMS  float64 `json:"batch_ms"`
+	BatchMS float64 `json:"batch_ms"`
 	// EnergyJ is the whole batch's modeled energy (the iteration this
 	// job rode in); EnergyAttrJ is the slice attributed to this job:
 	// its class's busy-state energy, split pro rata by executed tasks
@@ -185,8 +191,11 @@ func (s *Server) newJob(req JobRequest) (*job, error) {
 	if req.Count > s.cfg.QueueDepth {
 		return nil, fmt.Errorf("count %d exceeds the tenant queue depth %d", req.Count, s.cfg.QueueDepth)
 	}
-	if req.DeadlineMS < 0 || req.WorkHintS < 0 {
-		return nil, fmt.Errorf("deadline_ms and work_hint_s must be non-negative")
+	if req.DeadlineMS < 0 || req.DeadlineAtMS < 0 || req.WorkHintS < 0 {
+		return nil, fmt.Errorf("deadline_ms, deadline_at_ms and work_hint_s must be non-negative")
+	}
+	if req.DeadlineMS > 0 && req.DeadlineAtMS > 0 {
+		return nil, fmt.Errorf("deadline_ms and deadline_at_ms are mutually exclusive")
 	}
 	j := &job{
 		id:     atomic.AddUint64(&s.jobSeq, 1),
@@ -195,7 +204,10 @@ func (s *Server) newJob(req JobRequest) (*job, error) {
 		done:   make(chan outcome, 1),
 	}
 	if req.DeadlineMS > 0 {
-		j.deadline = time.Now().Add(time.Duration(req.DeadlineMS) * time.Millisecond)
+		j.deadline = s.now().Add(time.Duration(req.DeadlineMS) * time.Millisecond)
+	}
+	if req.DeadlineAtMS > 0 {
+		j.deadline = time.UnixMilli(req.DeadlineAtMS)
 	}
 	j.tasks = make([]rt.Task, 0, req.Count)
 	for i := 0; i < req.Count; i++ {
@@ -219,8 +231,9 @@ func (s *Server) newJob(req JobRequest) (*job, error) {
 			},
 			// Withdraw the task if the handler cancelled the job or its
 			// deadline expired after the batch formed but before this
-			// task started.
-			Cancelled: func() bool { return j.expiredBy(time.Now()) },
+			// task started. Reads the service clock, so a frozen virtual
+			// clock (trace replay) makes mid-batch expiry deterministic.
+			Cancelled: func() bool { return j.expiredBy(s.now()) },
 		})
 	}
 	return j, nil

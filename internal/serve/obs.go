@@ -6,10 +6,18 @@ import "repro/internal/obs"
 // namespace. Like the runtime's rtObs, every handle is nil when the
 // registry is nil and every method on a nil handle no-ops.
 type serveObs struct {
-	admitted  *obs.Counter
-	rejected  *obs.CounterVec // by reason
-	timeouts  *obs.Counter
-	completed *obs.Counter
+	admitted *obs.Counter
+	// admittedTenant splits admissions by tenant — the per-cohort
+	// admission view the traffic harness reads next to queueDepth and
+	// tenantEnergy.
+	admittedTenant *obs.CounterVec
+	rejected       *obs.CounterVec // by reason
+	timeouts       *obs.Counter
+	completed      *obs.Counter
+	// cancelled counts job cancellations by reason (deadline,
+	// disconnect, expired_at_admission), making client disconnects
+	// visible and distinguishable from deadline drops.
+	cancelled *obs.CounterVec
 
 	queueDepth *obs.GaugeVec // by tenant: queued tasks
 	inflight   *obs.Gauge    // admitted-but-unfinished tasks
@@ -109,8 +117,13 @@ func newServeObs(reg *obs.Registry) serveObs {
 	return serveObs{
 		admitted: reg.Counter("eewa_serve_admitted_total",
 			"Jobs admitted into the batching queue."),
+		admittedTenant: reg.CounterVec("eewa_serve_admitted_tenant_total",
+			"Jobs admitted into the batching queue, by tenant.", "tenant"),
 		rejected: reg.CounterVec("eewa_serve_rejected_total",
 			"Jobs refused at admission, by reason (tenant_queue_full, inflight_budget, draining, invalid).",
+			"reason"),
+		cancelled: reg.CounterVec("eewa_serve_cancelled_jobs_total",
+			"Job cancellations by reason: deadline (handler-side expiry), disconnect (client hung up), expired_at_admission (504 fast-fail).",
 			"reason"),
 		timeouts: reg.Counter("eewa_serve_timeout_total",
 			"Jobs whose deadline expired before all tasks ran."),

@@ -151,20 +151,29 @@ func (e errShardRangeT) Error() string {
 // (backpressure-aware spillover). When every candidate rejects, the
 // preferred shard's rejection is returned; when every shard is
 // draining, the whole cluster is.
-func (s *Server) route(j *job) *rejection {
+func (s *Server) route(j *job) *Rejection {
 	s.mu.Lock()
 	draining := s.draining
 	s.mu.Unlock()
 	if draining {
-		return &rejection{status: 503, reason: "draining",
-			msg: "server is draining, not admitting new jobs"}
+		return &Rejection{Status: 503, Reason: "draining",
+			Msg: "server is draining, not admitting new jobs"}
+	}
+	if j.expiredBy(s.now()) {
+		// Admission fast-fail: the deadline has already passed (an
+		// absolute deadline_at in the past, or a cancellation raced
+		// in), so queuing the job would only burn a batch slot before
+		// the batcher dropped it. Refuse it here — it must never reach
+		// a shard queue. DESIGN.md §9 documents the semantics change.
+		return &Rejection{Status: 504, Reason: "expired",
+			Msg: "deadline already expired at admission"}
 	}
 	order := s.shardOrder(j.req.Func, len(j.tasks))
 	if len(order) == 0 {
-		return &rejection{status: 503, reason: "draining",
-			msg: "every shard is draining, not admitting new jobs"}
+		return &Rejection{Status: 503, Reason: "draining",
+			Msg: "every shard is draining, not admitting new jobs"}
 	}
-	var firstRej *rejection
+	var firstRej *Rejection
 	for k, idx := range order {
 		rej := s.shards[idx].admit(j)
 		if rej == nil {
@@ -174,7 +183,7 @@ func (s *Server) route(j *job) *rejection {
 			}
 			return nil
 		}
-		if firstRej == nil || (firstRej.status == 503 && rej.status != 503) {
+		if firstRej == nil || (firstRej.Status == 503 && rej.Status != 503) {
 			firstRej = rej
 		}
 	}

@@ -54,6 +54,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/check"
 	"repro/internal/machine"
 	"repro/internal/obs"
 	"repro/internal/policy"
@@ -119,6 +120,21 @@ type Config struct {
 	// RetryAfter is the hint returned with 429/503 responses (default
 	// 1s, rounded up to whole seconds on the wire).
 	RetryAfter time.Duration
+
+	// Clock overrides the service's time source: admission timestamps,
+	// deadline arithmetic in newJob, and the queued-expiry and
+	// mid-batch-cancellation checks all read it. Nil means time.Now.
+	// Trace replay (internal/traffic) injects a virtual clock here so
+	// deadline outcomes are a function of the trace alone, not of host
+	// scheduling. With a non-nil Clock the HTTP handler's wall-clock
+	// early-504 timer is disabled — queued expiry is then decided only
+	// at batch formation, in virtual time.
+	Clock func() time.Time
+	// ManualFlush disables the interval batcher: no ticker goroutine
+	// runs, and batches form only when Flush is called, on the caller's
+	// goroutine. This is the lockstep discipline trace replay uses for
+	// bit-exact outcome logs; Drain still flushes the backlog.
+	ManualFlush bool
 
 	// Obs, when non-nil, receives the eewa_serve_* metrics and is also
 	// wired into the runtime (eewa_rt_*).
@@ -194,6 +210,7 @@ type Server struct {
 	mu       sync.Mutex
 	draining bool   // cluster-wide drain (Drain); shards drain individually too
 	rejected uint64 // jobs refused at admission (router-level counter)
+	fastFail uint64 // jobs 504-fast-failed at admission (deadline already past)
 
 	jobSeq uint64
 	rr     atomic.Uint64 // round-robin cursor for RouteRR
@@ -252,6 +269,8 @@ func New(cfg Config) (*Server, error) {
 			maxInFlight: cfg.MaxInFlight,
 			invariants:  cfg.Invariants,
 			reg:         cfg.Obs,
+			clock:       s.now,
+			manualFlush: cfg.ManualFlush,
 		}, s.so, s.ga, s.ro)
 		if err != nil {
 			return nil, err
@@ -261,9 +280,28 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
+// now is the service's time source (Config.Clock, default time.Now).
+func (s *Server) now() time.Time {
+	if s.cfg.Clock != nil {
+		return s.cfg.Clock()
+	}
+	return time.Now()
+}
+
 // Runtime exposes shard 0's live runtime (for Violations() and Stats()
 // in tests and diagnostics; with one shard it is the cluster).
 func (s *Server) Runtime() *rt.Runtime { return s.shards[0].rt }
+
+// Violations collects the accumulated invariant violations across
+// every shard runtime (empty unless Config.Invariants, or the
+// eewa_check build tag, is on).
+func (s *Server) Violations() []check.Violation {
+	var out []check.Violation
+	for _, sh := range s.shards {
+		out = append(out, sh.rt.Violations()...)
+	}
+	return out
+}
 
 // Shards returns the cluster's shard count.
 func (s *Server) Shards() int { return len(s.shards) }
@@ -276,6 +314,9 @@ func (s *Server) Stats() Stats {
 		Workers:  s.cfg.Workers,
 		Draining: s.draining,
 		Rejected: s.rejected,
+		// Admission fast-fails (deadline already past, 504 before
+		// queuing) are timeouts that never reached a shard.
+		Timeouts: s.fastFail,
 	}
 	s.mu.Unlock()
 	for _, sh := range s.shards {
@@ -284,11 +325,79 @@ func (s *Server) Stats() Stats {
 	return st
 }
 
-// rejection describes a refused submission.
-type rejection struct {
-	status int    // HTTP status (429 or 503)
-	reason string // metrics label
-	msg    string
+// Rejection describes a submission refused without being queued: the
+// HTTP status the handler reports (400 invalid, 429/503 backpressure,
+// 504 deadline already expired at admission), the metrics reason
+// label, and a human-readable message.
+type Rejection struct {
+	Status int    // HTTP status (400, 429, 503 or 504)
+	Reason string // metrics label
+	Msg    string
+}
+
+// noteRejection does the router-level bookkeeping for a refused
+// submission (shared by the HTTP handler and Submit). A 504 fast-fail
+// is accounted as a timeout — the job's deadline had already expired
+// when it arrived — while everything else is a rejection.
+func (s *Server) noteRejection(rej *Rejection) {
+	if rej.Status == 504 {
+		s.mu.Lock()
+		s.fastFail++
+		s.mu.Unlock()
+		s.so.timeouts.Inc()
+		s.so.cancelled.With("expired_at_admission").Inc()
+		return
+	}
+	s.mu.Lock()
+	s.rejected++
+	s.mu.Unlock()
+	s.so.rejected.With(rej.Reason).Inc()
+}
+
+// Pending is a job Submit queued; Wait blocks until a batch delivers
+// its outcome (with Config.ManualFlush that means a Flush or Drain
+// call, so always Flush before Wait in lockstep replay).
+type Pending struct{ j *job }
+
+// Wait returns the job's final HTTP-equivalent status, the result body
+// (non-nil on 200 and on mid-batch 504 partials), and the error
+// message for non-200 outcomes.
+func (p *Pending) Wait() (status int, res *JobResult, errMsg string) {
+	o := <-p.j.done
+	return o.status, o.res, o.err
+}
+
+// Submit validates, admits and routes one job through exactly the
+// admission pipeline the HTTP handler uses, without the HTTP layer —
+// the programmatic seam trace replay drives. It never blocks on
+// execution: a queued job is returned as a Pending, a refused one as a
+// Rejection (400 invalid, 429/503 backpressure, 504 deadline already
+// expired). Counters and metrics advance exactly as for POST /v1/jobs.
+func (s *Server) Submit(req JobRequest) (*Pending, *Rejection) {
+	j, err := s.newJob(req)
+	if err != nil {
+		s.so.rejected.With("invalid").Inc()
+		return nil, &Rejection{Status: 400, Reason: "invalid", Msg: err.Error()}
+	}
+	if rej := s.route(j); rej != nil {
+		s.noteRejection(rej)
+		return nil, rej
+	}
+	return &Pending{j: j}, nil
+}
+
+// Flush forms and runs batches from every shard's current backlog, on
+// the calling goroutine, until the backlog is empty. It is the batch
+// boundary under Config.ManualFlush (without it the interval batcher
+// already does this; calling Flush then would race the batchers, so
+// Flush panics to make the misuse loud).
+func (s *Server) Flush() {
+	if !s.cfg.ManualFlush {
+		panic("serve: Flush without Config.ManualFlush (the interval batcher owns the runtime)")
+	}
+	for _, sh := range s.shards {
+		sh.flushAll()
+	}
 }
 
 // LatencySummary is the point-in-time percentile view of the service's

@@ -31,6 +31,14 @@ type shardConfig struct {
 	maxInFlight int
 	invariants  bool
 	reg         *obs.Registry
+
+	// clock is the service time source (Server.now); admission stamps,
+	// queued-expiry and cancellation checks all read it so a virtual
+	// clock makes deadline outcomes deterministic under trace replay.
+	clock func() time.Time
+	// manualFlush skips the batcher goroutine: batches form only via
+	// flushAll, on the caller's goroutine (Server.Flush / drain).
+	manualFlush bool
 }
 
 // shard is the unit the routing tier places work on: one live runtime
@@ -69,8 +77,9 @@ type shard struct {
 	energyAttrJ     float64
 	energyOverheadJ float64
 
-	wake    chan struct{}
-	drained chan struct{}
+	wake        chan struct{}
+	drained     chan struct{}
+	drainedOnce sync.Once // manual-flush mode: drain may be called repeatedly
 
 	// latE2E and latQueue aggregate end-to-end and queue-wait latency
 	// across every class and tenant; the cluster LatencySummary merges
@@ -138,7 +147,9 @@ func newShard(cfg shardConfig, so *serveObs, ga *gaugeAgg, ro *routerObs) (*shar
 	if err != nil {
 		return nil, fmt.Errorf("serve: %w", err)
 	}
-	go sh.batcher()
+	if !cfg.manualFlush {
+		go sh.batcher()
+	}
 	return sh, nil
 }
 
@@ -196,22 +207,22 @@ func (sh *shard) view(class string) shardView {
 // admit applies the shard's admission policy to j: reject while
 // draining, reject when the tenant's queue or the in-flight budget is
 // full, otherwise enqueue. Backpressure is immediate — nothing blocks.
-func (sh *shard) admit(j *job) *rejection {
+func (sh *shard) admit(j *job) *Rejection {
 	n := len(j.tasks)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	switch {
 	case sh.draining:
-		return &rejection{status: 503, reason: "draining",
-			msg: "server is draining, not admitting new jobs"}
+		return &Rejection{Status: 503, Reason: "draining",
+			Msg: "server is draining, not admitting new jobs"}
 	case sh.queued[j.tenant]+n > sh.cfg.queueDepth:
-		return &rejection{status: 429, reason: "tenant_queue_full",
-			msg: fmt.Sprintf("tenant %q queue full (%d/%d tasks)", j.tenant, sh.queued[j.tenant], sh.cfg.queueDepth)}
+		return &Rejection{Status: 429, Reason: "tenant_queue_full",
+			Msg: fmt.Sprintf("tenant %q queue full (%d/%d tasks)", j.tenant, sh.queued[j.tenant], sh.cfg.queueDepth)}
 	case sh.inflight+n > sh.cfg.maxInFlight:
-		return &rejection{status: 429, reason: "inflight_budget",
-			msg: fmt.Sprintf("in-flight budget full (%d/%d tasks)", sh.inflight, sh.cfg.maxInFlight)}
+		return &Rejection{Status: 429, Reason: "inflight_budget",
+			Msg: fmt.Sprintf("in-flight budget full (%d/%d tasks)", sh.inflight, sh.cfg.maxInFlight)}
 	}
-	j.enqueued = time.Now()
+	j.enqueued = sh.cfg.clock()
 	j.shard = sh.cfg.index
 	sh.pending = append(sh.pending, j)
 	sh.queued[j.tenant] += n
@@ -219,6 +230,7 @@ func (sh *shard) admit(j *job) *rejection {
 	sh.inflight += n
 	sh.stats.Admitted++
 	sh.so.admitted.Inc()
+	sh.so.admittedTenant.With(j.tenant).Inc()
 	sh.ga.queue(j.tenant, n)
 	sh.ga.flight(n)
 	sh.ro.shardInflight(sh.cfg.index, sh.inflight)
@@ -258,11 +270,18 @@ func (sh *shard) batcher() {
 	}
 }
 
+// flushAll drains the current backlog into consecutive batches on the
+// calling goroutine — the batch boundary of manual-flush mode.
+func (sh *shard) flushAll() {
+	for sh.flushOnce() {
+	}
+}
+
 // flushOnce forms one batch from the head of the queue and runs it.
 // It reports whether any job left the queue (batched or expired), so
 // the batcher can loop until the backlog is gone.
 func (sh *shard) flushOnce() bool {
-	now := time.Now()
+	now := sh.cfg.clock()
 	var batch []*job
 	var expired []*job
 	tasks, expiredTasks := 0, 0
@@ -310,7 +329,7 @@ func (sh *shard) flushOnce() bool {
 
 	all := sh.arena.Get(tasks)
 	for _, j := range batch {
-		j.started = time.Now()
+		j.started = sh.cfg.clock()
 		sh.so.queueSecs.Observe(j.started.Sub(j.enqueued).Seconds())
 		all = append(all, j.tasks...)
 	}
@@ -339,7 +358,7 @@ func (sh *shard) flushOnce() bool {
 		classRan[j.req.Func] += int(j.ran.Load())
 	}
 
-	done := time.Now()
+	done := sh.cfg.clock()
 	for _, j := range batch {
 		ran := int(j.ran.Load())
 		var attr float64
@@ -409,6 +428,12 @@ func (sh *shard) drain(ctx context.Context) error {
 	sh.draining = true
 	sh.mu.Unlock()
 	sh.ro.shardDraining(sh.cfg.index, true)
+	if sh.cfg.manualFlush {
+		// No batcher goroutine: the backlog drains here, synchronously.
+		sh.flushAll()
+		sh.drainedOnce.Do(func() { close(sh.drained) })
+		return nil
+	}
 	sh.wakeBatcher()
 	select {
 	case <-sh.drained:

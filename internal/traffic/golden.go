@@ -1,0 +1,56 @@
+package traffic
+
+// GoldenSpec is the checked-in fixture spec: a 5-second diurnal trace
+// with three cohorts exercising all three arrival kinds, tight and
+// loose deadlines, and hinted work. The golden test pins its generated
+// bytes; `make traffic-smoke` replays it through serve and checks
+// conservation and determinism. Change it only together with the
+// fixture (eewa-traffic generate -golden).
+func GoldenSpec() Spec {
+	return Spec{
+		Name:      "golden-diurnal-5s",
+		DurationS: 5,
+		Seed:      20260808,
+		Cohorts: []Cohort{
+			{
+				Tenant: "interactive",
+				Arrival: Arrival{
+					Kind: ArrivalDiurnal, RateJPS: 24,
+					Periods: []Period{
+						{PeriodS: 5, Amp: 0.6},               // the "day"
+						{PeriodS: 1.25, Amp: 0.25, Phase: 1}, // intraday wave
+					},
+				},
+				Mix: []ClassMix{
+					{Class: "sha1", Weight: 3, Count: 2, SizeBytes: 1024},
+					{Class: "md5", Weight: 1, Count: 1, SizeBytes: 2048},
+				},
+				DeadlineMeanS:   0.25,
+				DeadlineStddevS: 0.08,
+			},
+			{
+				Tenant: "bursty",
+				Arrival: Arrival{
+					Kind: ArrivalBursty, RateJPS: 8,
+					BurstFactor: 6, MeanBurstS: 0.3, MeanCalmS: 1.2,
+				},
+				Mix: []ClassMix{
+					{Class: "lzw", Weight: 2, Count: 3, SizeBytes: 4096,
+						MeanWorkS: 150e-6, StddevWorkS: 75e-6},
+					{Class: "bwc", Weight: 1, Count: 1, SizeBytes: 8192,
+						MeanWorkS: 400e-6, StddevWorkS: 200e-6},
+				},
+				DeadlineMeanS:   1.5,
+				DeadlineStddevS: 0.5,
+			},
+			{
+				Tenant:  "batch",
+				Arrival: Arrival{Kind: ArrivalPoisson, RateJPS: 6},
+				Mix: []ClassMix{
+					{Class: "dmc", Weight: 1, Count: 4, SizeBytes: 4096,
+						MeanWorkS: 1e-3, StddevWorkS: 400e-6},
+				},
+			},
+		},
+	}
+}

@@ -1,0 +1,400 @@
+package traffic
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// testSpec is a small two-cohort spec covering all three arrival
+// kinds' parameters: an interactive cohort with tight deadlines and a
+// batch cohort with heavy hinted work.
+func testSpec() Spec {
+	return Spec{
+		Name:      "test",
+		DurationS: 3,
+		Seed:      42,
+		Cohorts: []Cohort{
+			{
+				Tenant:  "interactive",
+				Arrival: Arrival{Kind: ArrivalPoisson, RateJPS: 40},
+				Mix: []ClassMix{
+					{Class: "sha1", Weight: 3, Count: 2, SizeBytes: 1024},
+					{Class: "md5", Weight: 1, Count: 1, SizeBytes: 2048},
+				},
+				DeadlineMeanS:   0.5,
+				DeadlineStddevS: 0.1,
+			},
+			{
+				Tenant: "batch",
+				Arrival: Arrival{
+					Kind: ArrivalDiurnal, RateJPS: 20,
+					Periods: []Period{{PeriodS: 2, Amp: 0.8}, {PeriodS: 0.5, Amp: 0.3, Phase: 1}},
+				},
+				Mix: []ClassMix{
+					{Class: "lzw", Weight: 1, Count: 4, SizeBytes: 4096,
+						MeanWorkS: 200e-6, StddevWorkS: 100e-6},
+				},
+			},
+		},
+	}
+}
+
+func mustGenerate(t *testing.T, spec Spec) *Trace {
+	t.Helper()
+	tr, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func encode(t *testing.T, tr *Trace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Encode(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := encode(t, mustGenerate(t, testSpec()))
+	b := encode(t, mustGenerate(t, testSpec()))
+	if !bytes.Equal(a, b) {
+		t.Fatal("two generations of the same spec differ")
+	}
+}
+
+// TestGenerateParallelDeterminism: the trace is identical for every
+// cohort-generation worker count — the -j discipline.
+func TestGenerateParallelDeterminism(t *testing.T) {
+	spec := testSpec()
+	ref, err := GenerateWith(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := encode(t, ref)
+	for _, j := range []int{2, 4, 8} {
+		tr, err := GenerateWith(spec, j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := encode(t, tr); !bytes.Equal(got, want) {
+			t.Fatalf("workers=%d produced a different trace than workers=1", j)
+		}
+	}
+}
+
+// TestCohortIndependence: adding a tenant leaves every other cohort's
+// event stream bit-identical, and reordering cohorts changes nothing.
+func TestCohortIndependence(t *testing.T) {
+	base := testSpec()
+	ref := mustGenerate(t, base)
+
+	grown := testSpec()
+	grown.Cohorts = append([]Cohort{{
+		Tenant:  "newcomer",
+		Arrival: Arrival{Kind: ArrivalBursty, RateJPS: 15, BurstFactor: 5, MeanBurstS: 0.2, MeanCalmS: 0.8},
+		Mix:     []ClassMix{{Class: "md5", Weight: 1}},
+	}}, grown.Cohorts...) // prepended, so positions shift too
+	tr2 := mustGenerate(t, grown)
+
+	byTenant := func(tr *Trace, tenant string) []Event {
+		var out []Event
+		for _, ev := range tr.Events {
+			if ev.Tenant == tenant {
+				out = append(out, ev)
+			}
+		}
+		return out
+	}
+	for _, tenant := range []string{"interactive", "batch"} {
+		a, b := byTenant(ref, tenant), byTenant(tr2, tenant)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("cohort %q stream changed when a tenant was added (%d vs %d events)",
+				tenant, len(a), len(b))
+		}
+	}
+	if n := len(byTenant(tr2, "newcomer")); n == 0 {
+		t.Error("newcomer cohort generated no events")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	tr := mustGenerate(t, testSpec())
+	first := encode(t, tr)
+	dec, err := Decode(bytes.NewReader(first))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr, dec) {
+		t.Fatal("decoded trace differs from the generated one")
+	}
+	if second := encode(t, dec); !bytes.Equal(first, second) {
+		t.Fatal("re-encoding the decoded trace changed its bytes")
+	}
+}
+
+func TestDecodeRejectsUnknownVersion(t *testing.T) {
+	if _, err := Decode(bytes.NewReader([]byte(`{"schema_version":99,"duration_s":1,"events":[]}`))); err == nil {
+		t.Fatal("want error for unknown schema version")
+	}
+}
+
+func TestValidateRejectsMalformed(t *testing.T) {
+	cases := []Trace{
+		{SchemaVersion: SchemaVersion, DurationS: 0},
+		{SchemaVersion: SchemaVersion, DurationS: 1,
+			Events: []Event{{OffsetS: 2, Class: "sha1", Count: 1}}},
+		{SchemaVersion: SchemaVersion, DurationS: 1,
+			Events: []Event{{OffsetS: 0.5, Class: "sha1", Count: 1}, {OffsetS: 0.1, Class: "sha1", Count: 1}}},
+		{SchemaVersion: SchemaVersion, DurationS: 1,
+			Events: []Event{{OffsetS: 0.5, Class: "", Count: 1}}},
+		{SchemaVersion: SchemaVersion, DurationS: 1,
+			Events: []Event{{OffsetS: 0.5, Class: "sha1", Count: 0}}},
+	}
+	for i, tr := range cases {
+		if err := tr.Validate(); err == nil {
+			t.Errorf("case %d: want validation error", i)
+		}
+	}
+}
+
+// TestGeneratedWorkHintsPositive: the NormPos discipline — no
+// generated trace ever carries a zero or negative work hint, even with
+// a stddev that dwarfs the mean.
+func TestGeneratedWorkHintsPositive(t *testing.T) {
+	spec := Spec{
+		Name: "hints", DurationS: 5, Seed: 7,
+		Cohorts: []Cohort{{
+			Tenant:  "t",
+			Arrival: Arrival{Kind: ArrivalPoisson, RateJPS: 200},
+			Mix: []ClassMix{{Class: "sha1", Weight: 1,
+				MeanWorkS: 1e-6, StddevWorkS: 1e-3}}, // stddev ≫ mean
+			DeadlineMeanS: 1e-6, DeadlineStddevS: 1, // likewise for deadlines
+		}},
+	}
+	tr := mustGenerate(t, spec)
+	if len(tr.Events) == 0 {
+		t.Fatal("no events")
+	}
+	for i, ev := range tr.Events {
+		if ev.WorkHintS <= 0 {
+			t.Fatalf("event %d has non-positive work hint %g", i, ev.WorkHintS)
+		}
+		if ev.DeadlineMS < 1 {
+			t.Fatalf("event %d has deadline %d < 1ms", i, ev.DeadlineMS)
+		}
+	}
+}
+
+func TestReplaySimDeterministic(t *testing.T) {
+	tr := mustGenerate(t, testSpec())
+	opt := SimReplay{Cores: 4, Seed: 3}
+	lg1, res1, err := ReplaySim(tr, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg2, res2, err := ReplaySim(tr, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := lg1.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, _ := lg2.Canonical()
+	if !bytes.Equal(c1, c2) {
+		t.Fatalf("sim replay logs differ:\n%s\nvs\n%s", c1, c2)
+	}
+	// Modeled roll-ups are bit-exact, not merely close.
+	if math.Float64bits(res1.Energy) != math.Float64bits(res2.Energy) {
+		t.Errorf("energy not bit-identical: %v vs %v", res1.Energy, res2.Energy)
+	}
+	if math.Float64bits(res1.Makespan) != math.Float64bits(res2.Makespan) {
+		t.Errorf("makespan not bit-identical: %v vs %v", res1.Makespan, res2.Makespan)
+	}
+	if lg1.EnergyJ <= 0 || lg1.Batches == 0 {
+		t.Errorf("implausible sim log: %+v", lg1)
+	}
+}
+
+func serveReplayOpt() ServeReplay {
+	return ServeReplay{
+		Config: serve.Config{
+			Workers: 2,
+			Machine: machine.Generic(2),
+			Policy:  "eewa",
+			Seed:    7,
+			Obs:     obs.NewRegistry(),
+		},
+		FlushEveryS: 0.025,
+	}
+}
+
+// TestReplayServeDeterministic is the acceptance gate: the same trace
+// replayed twice through the real serve pipeline produces identical
+// per-tenant outcome counts and batch composition (Canonical bytes).
+func TestReplayServeDeterministic(t *testing.T) {
+	tr := mustGenerate(t, testSpec())
+	lg1, err := ReplayServe(tr, serveReplayOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg2, err := ReplayServe(tr, serveReplayOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := lg1.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, _ := lg2.Canonical()
+	if !bytes.Equal(c1, c2) {
+		t.Fatalf("serve replay logs differ:\n%s\nvs\n%s", c1, c2)
+	}
+
+	// Outcome conservation: every event resolved to exactly one status.
+	perTenant := map[string]int{}
+	for _, ev := range tr.Events {
+		perTenant[ev.Tenant]++
+	}
+	for tenant, want := range perTenant {
+		tc := lg1.Tenants[tenant]
+		if tc == nil {
+			t.Fatalf("tenant %q missing from log", tenant)
+		}
+		got := tc.OK + tc.Rejected + tc.Unavailable + tc.Invalid + tc.Dropped
+		if got != uint64(want) {
+			t.Errorf("tenant %q: %d outcomes for %d events (%+v)", tenant, got, want, *tc)
+		}
+	}
+	if lg1.MeasuredEnergyJ <= 0 {
+		t.Errorf("no measured energy: %+v", lg1)
+	}
+}
+
+// TestReplayServeMatchesSimOutcomes: with no admission pressure, the
+// serve pipeline's queued-deadline drops agree with the sim replay's
+// model of them — same per-tenant 200/504 split, same batch count.
+func TestReplayServeMatchesSimOutcomes(t *testing.T) {
+	spec := testSpec()
+	// Tighten interactive deadlines below the flush interval so a
+	// deterministic subset drops.
+	spec.Cohorts[0].DeadlineMeanS = 0.02
+	spec.Cohorts[0].DeadlineStddevS = 0.01
+	tr := mustGenerate(t, spec)
+
+	sv, err := ReplayServe(tr, serveReplayOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, _, err := ReplaySim(tr, SimReplay{Cores: 2, FlushEveryS: 0.025})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drops := 0
+	for tenant, tc := range sv.Tenants {
+		st := sm.Tenants[tenant]
+		if st == nil {
+			t.Fatalf("tenant %q missing from sim log", tenant)
+		}
+		if tc.OK != st.OK || tc.Dropped != st.Dropped {
+			t.Errorf("tenant %q: serve ok/drop %d/%d vs sim %d/%d",
+				tenant, tc.OK, tc.Dropped, st.OK, st.Dropped)
+		}
+		drops += int(tc.Dropped)
+	}
+	if drops == 0 {
+		t.Error("expected some deadline drops with 20ms deadlines and a 25ms flush")
+	}
+	if sv.Batches != sm.Batches {
+		t.Errorf("batch counts disagree: serve %d vs sim %d", sv.Batches, sm.Batches)
+	}
+}
+
+// TestGoldenTrace pins the generated bytes of the golden fixture: the
+// trace schema, the generators and the RNG streams cannot drift
+// without an explicit fixture update.
+func TestGoldenTrace(t *testing.T) {
+	tr := mustGenerate(t, GoldenSpec())
+	got := encode(t, tr)
+	path := filepath.Join("testdata", "golden.json")
+	if os.Getenv("EEWA_REGEN_GOLDEN") != "" {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Skipf("regenerated %s (%d bytes)", path, len(got))
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden fixture missing (regenerate with EEWA_REGEN_GOLDEN=1 go test ./internal/traffic -run TestGoldenTrace): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("generated golden trace diverged from %s; if the change is intended, regenerate the fixture", path)
+	}
+}
+
+func TestCaptureRecordsSubmissions(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv, err := serve.New(serve.Config{
+		Workers: 2, Machine: machine.Generic(2), Policy: "eewa", Seed: 7, Obs: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := NewCapture(srv.Handler())
+
+	tr := mustGenerate(t, testSpec())
+	small := &Trace{SchemaVersion: SchemaVersion, Name: "small", DurationS: tr.DurationS}
+	for _, ev := range tr.Events {
+		ev.DeadlineMS = 0 // keep wall replay outcome-independent
+		small.Events = append(small.Events, ev)
+		if len(small.Events) == 12 {
+			break
+		}
+	}
+	st, err := ReplayWall(t.Context(), cap, small, 100 /* compress 3s to 30ms */)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Submitted != 12 {
+		t.Fatalf("submitted %d, want 12", st.Submitted)
+	}
+	if cap.Len() != 12 {
+		t.Fatalf("captured %d events, want 12", cap.Len())
+	}
+	rec := cap.Trace("captured")
+	if err := rec.Validate(); err != nil {
+		t.Fatalf("captured trace invalid: %v", err)
+	}
+	// The capture must preserve each event's identity (class, count,
+	// tenant multiset) even though offsets are re-measured.
+	count := func(evs []Event) map[string]int {
+		m := map[string]int{}
+		for _, ev := range evs {
+			m[fmt.Sprintf("%s/%s/%d", ev.Tenant, ev.Class, ev.Count)]++
+		}
+		return m
+	}
+	if !reflect.DeepEqual(count(small.Events), count(rec.Events)) {
+		t.Errorf("captured identity multiset differs:\n%v\nvs\n%v",
+			count(small.Events), count(rec.Events))
+	}
+	drain := func() {
+		ctx := t.Context()
+		if err := srv.Drain(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drain()
+}

@@ -75,6 +75,39 @@ func (r *RNG) Norm(mean, stddev float64) float64 {
 	return mean + stddev*z
 }
 
+// NormPos returns a strictly positive draw from the normal
+// distribution with the given mean and standard deviation, by
+// rejection: non-positive draws are discarded and the transform rerun.
+// Work and deadline sampling must use this instead of Norm — a plain
+// normal can go non-positive, and a zero-work task or zero deadline is
+// invalid everywhere downstream (task.Workload.Validate rejects it,
+// and a replayed trace must never carry one). The rejection loop is
+// deterministic for a given generator state; callers with mean ≤ 0 or
+// an extreme stddev/mean ratio still terminate via the bounded
+// fallback (the magnitude of the last draw, floored at mean·1e-9 or
+// stddev·1e-9, whichever is positive).
+func (r *RNG) NormPos(mean, stddev float64) float64 {
+	var v float64
+	for i := 0; i < 128; i++ {
+		v = r.Norm(mean, stddev)
+		if v > 0 {
+			return v
+		}
+	}
+	// Pathological parameters (mean far below zero): fall back to a
+	// positive magnitude so callers never observe a non-positive value.
+	if v = math.Abs(v); v > 0 {
+		return v
+	}
+	if mean > 0 {
+		return mean * 1e-9
+	}
+	if stddev != 0 {
+		return math.Abs(stddev) * 1e-9
+	}
+	return 1e-12 // degenerate (mean ≤ 0, stddev = 0): any positive constant
+}
+
 // Jitter returns base scaled by a uniform factor in
 // [1-frac, 1+frac], clamped to be strictly positive. It models the
 // paper's assumption that "workloads of tasks may change slightly in

@@ -260,3 +260,50 @@ func TestPermIntoMatchesPerm(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestNormPosAlwaysPositive sweeps parameter regimes — including the
+// pathological ones (negative mean, zero stddev) — and checks every
+// draw is strictly positive. This is the contract that lets trace
+// generation sample work and deadlines without per-caller re-clamping.
+func TestNormPosAlwaysPositive(t *testing.T) {
+	f := func(seed uint64, meanRaw, stddevRaw int16) bool {
+		mean := float64(meanRaw) / 100
+		stddev := math.Abs(float64(stddevRaw)) / 100
+		r := New(seed)
+		for i := 0; i < 64; i++ {
+			if v := r.NormPos(mean, stddev); v <= 0 || math.IsNaN(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNormPosMatchesNormWhenPositive pins the stream contract: while
+// the underlying Norm draws stay positive, NormPos returns exactly the
+// same values — so switching a positive-regime sampler from manual
+// clamping to NormPos cannot perturb recorded streams.
+func TestNormPosMatchesNormWhenPositive(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		want := a.Norm(100, 1) // ~100σ above zero: never non-positive
+		got := b.NormPos(100, 1)
+		if want != got {
+			t.Fatalf("draw %d: Norm %g != NormPos %g", i, want, got)
+		}
+	}
+}
+
+// TestNormPosDegenerate covers the bounded-fallback path directly.
+func TestNormPosDegenerate(t *testing.T) {
+	r := New(1)
+	if v := r.NormPos(-1e9, 0); v <= 0 {
+		t.Fatalf("degenerate fallback returned %g", v)
+	}
+	if v := r.NormPos(-1e9, 1e-6); v <= 0 {
+		t.Fatalf("negative-mean fallback returned %g", v)
+	}
+}

@@ -73,11 +73,13 @@ check:
 # Nightly variant: long randomized stress (60 s per stress test) and
 # repeated -race runs across the concurrency-sensitive packages, plus
 # the whole tree with runtime invariants forced on via the eewa_check
-# build tag.
+# build tag, plus a coverage-guided fuzz of the event queue against its
+# sorted-slice oracle (the same interpreter as TestQueueModelRandomized).
 check-long:
 	EEWA_STRESS_SECONDS=60 $(GO) test -race -count=2 -timeout 30m \
-		./internal/check/ ./internal/deque/ ./internal/policy/ ./internal/rt/ ./internal/serve/
+		./internal/check/ ./internal/deque/ ./internal/event/ ./internal/policy/ ./internal/rt/ ./internal/serve/
 	$(GO) test -tags eewa_check -race ./internal/rt/ ./internal/check/ ./internal/serve/
+	$(GO) test -run '^$$' -fuzz FuzzQueue -fuzztime 60s ./internal/event/
 
 cover:
 	$(GO) test -cover ./...

@@ -7,7 +7,11 @@
 //     discrete-event simulator. Latency is simulated seconds since
 //     batch start (from the eewa_sim_task_latency_seconds histogram);
 //     the scheduling rate is tasks per host-second, so the cell also
-//     measures the engine itself.
+//     measures the engine itself. A run is deterministic and fast
+//     (often sub-millisecond), so the cell repeats it until the
+//     -cell-ms budget is spent and reports the best repetition —
+//     single-shot sub-ms wall timings on a shared host are dominated
+//     by scheduler noise, not the engine.
 //   - serve: offered load — an open-loop driver submits jobs through
 //     the real HTTP handler (in-process, no sockets) at fixed
 //     multiples of a calibrated closed-loop capacity. Latency is wall
@@ -72,7 +76,7 @@ func main() {
 		meanWorkUS = flag.Float64("mean-work-us", 150, "sim: mean task work in microseconds at F0")
 		loadMults  = flag.String("load-mults", "0.25,0.5,1,2,4,8", "serve sweep: offered load as multiples of calibrated capacity")
 		shardsList = flag.String("shards", "1", "serve sweep: comma-separated cluster widths (runtime shards behind the router)")
-		cellMS     = flag.Int("cell-ms", 1500, "serve: open-loop drive time per cell, milliseconds")
+		cellMS     = flag.Int("cell-ms", 1500, "measurement budget per cell, milliseconds (sim: repeat run, best rep; serve: open-loop drive time)")
 		calibMS    = flag.Int("calib-ms", 500, "serve: closed-loop capacity calibration time, milliseconds")
 		jobTasks   = flag.Int("job-tasks", 8, "serve: tasks per submitted job")
 		sizeBytes  = flag.Int("size-bytes", 65536, "serve: corpus bytes per task")
@@ -130,7 +134,8 @@ func main() {
 		}
 		if engineSet["sim"] {
 			for _, depth := range depthList {
-				cell, err := simCell(pol, *cores, depth, *batches, *meanWorkUS*1e-6, *seed, dbg)
+				cell, err := simCell(pol, *cores, depth, *batches, *meanWorkUS*1e-6, *seed,
+					time.Duration(*cellMS)*time.Millisecond, dbg)
 				if err != nil {
 					log.Fatalf("sim %s depth %d: %v", pol, depth, err)
 				}
@@ -216,8 +221,12 @@ func logCell(c density.Cell) {
 
 // simCell runs `batches` batches of `depth` tasks through the
 // discrete-event simulator and reads latency quantiles off the
-// engine's per-class histogram.
-func simCell(pol string, cores, depth, batches int, meanWork float64, seed uint64, dbg *swapHandler) (density.Cell, error) {
+// engine's per-class histogram. The run is deterministic, so it is
+// repeated until `budget` host time is spent and the best (minimum
+// wall) repetition sets the reported rate; allocations come from the
+// first repetition, and the simulated quantiles and energy are
+// identical across repetitions by construction.
+func simCell(pol string, cores, depth, batches int, meanWork float64, seed uint64, budget time.Duration, dbg *swapHandler) (density.Cell, error) {
 	cfg := machine.Generic(cores)
 	w, err := task.Generate("density", batches, []task.ClassSpec{
 		{Name: "dens", Count: depth, MeanWork: meanWork, JitterFrac: 0.2},
@@ -244,6 +253,18 @@ func simCell(pol string, cores, depth, batches int, meanWork float64, seed uint6
 	runtime.ReadMemStats(&m1)
 	if err != nil {
 		return density.Cell{}, err
+	}
+	// Registry counters accumulate across repetitions, but the latency
+	// histogram's quantiles are invariant under repeating the identical
+	// observation set, so re-running into the same registry is safe.
+	for deadline := start.Add(budget); time.Now().Before(deadline); {
+		repStart := time.Now()
+		if _, err := sched.Run(cfg, w, p, params); err != nil {
+			return density.Cell{}, err
+		}
+		if repWall := time.Since(repStart).Seconds(); repWall < wall {
+			wall = repWall
+		}
 	}
 
 	lh, ok := reg.At("eewa_sim_task_latency_seconds", "dens").(*obs.LogHistogram)

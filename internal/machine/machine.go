@@ -253,6 +253,12 @@ type Machine struct {
 
 	freqs  []int
 	states []CoreState
+	// power caches each core's current draw (= PowerOf) so charge —
+	// which runs on every state or frequency change — is a pure
+	// multiply-accumulate. It is recomputed only when an input moves:
+	// the core's own state, its frequency, or its package's voltage
+	// plane (any package peer's frequency).
+	power []float64
 
 	lastChange float64
 	coreEnergy []float64
@@ -277,6 +283,7 @@ func New(cfg Config) *Machine {
 		Config:     cfg,
 		freqs:      make([]int, n),
 		states:     make([]CoreState, n),
+		power:      make([]float64, n),
 		coreEnergy: make([]float64, n),
 		busyTime:   make([]float64, n),
 		spinTime:   make([]float64, n),
@@ -284,6 +291,7 @@ func New(cfg Config) *Machine {
 	}
 	for i := range m.states {
 		m.states[i] = Halted
+		m.power[i] = m.Config.Power.CorePower(Halted, 0, 0, m.Config.Freqs)
 	}
 	return m
 }
@@ -317,8 +325,30 @@ func (m *Machine) voltLevel(id int) int {
 }
 
 // PowerOf returns core id's current draw in watts.
-func (m *Machine) PowerOf(id int) float64 {
-	return m.Config.Power.CorePower(m.states[id], m.freqs[id], m.voltLevel(id), m.Config.Freqs)
+func (m *Machine) PowerOf(id int) float64 { return m.power[id] }
+
+// recomputePower refreshes core id's cached draw.
+func (m *Machine) recomputePower(id int) {
+	m.power[id] = m.Config.Power.CorePower(m.states[id], m.freqs[id], m.voltLevel(id), m.Config.Freqs)
+}
+
+// recomputePackagePower refreshes the cached draw of every core on
+// id's voltage plane — required after a frequency change, which can
+// move the whole plane's voltage.
+func (m *Machine) recomputePackagePower(id int) {
+	ps := m.Config.PackageSize
+	if ps <= 1 {
+		m.recomputePower(id)
+		return
+	}
+	start := (id / ps) * ps
+	end := start + ps
+	if end > m.Config.Cores {
+		end = m.Config.Cores
+	}
+	for c := start; c < end; c++ {
+		m.recomputePower(c)
+	}
 }
 
 // charge integrates every core's energy from lastChange to now at the
@@ -334,7 +364,7 @@ func (m *Machine) charge(now float64) {
 		return
 	}
 	for id := range m.freqs {
-		m.coreEnergy[id] += dt * m.PowerOf(id)
+		m.coreEnergy[id] += dt * m.power[id]
 		switch m.states[id] {
 		case Busy:
 			m.busyTime[id] += dt
@@ -351,6 +381,7 @@ func (m *Machine) charge(now float64) {
 func (m *Machine) SetState(now float64, id int, s CoreState) {
 	m.charge(now)
 	m.states[id] = s
+	m.recomputePower(id)
 }
 
 // SetFreq switches core id to frequency level j at time now, counting
@@ -365,6 +396,7 @@ func (m *Machine) SetFreq(now float64, id, j int) {
 	}
 	m.charge(now)
 	m.freqs[id] = j
+	m.recomputePackagePower(id)
 	m.DVFSTransitions++
 }
 
@@ -386,7 +418,7 @@ func (m *Machine) CoreEnergyAt(now float64) float64 {
 	}
 	total := 0.0
 	for id := range m.freqs {
-		total += m.coreEnergy[id] + dt*m.PowerOf(id)
+		total += m.coreEnergy[id] + dt*m.power[id]
 	}
 	return total
 }
@@ -422,6 +454,30 @@ func sum(xs []float64) float64 {
 // are exact as of now (energy queries do this implicitly; time-counter
 // queries need an explicit sync).
 func (m *Machine) Sync(now float64) { m.charge(now) }
+
+// ReclassifyBusyAsSpin retroactively moves dt already-integrated
+// seconds of core id's time from the Busy counter to the Spinning
+// counter. Busy and Spinning draw identical power (only Halted gates
+// the dynamic term), so the reclassification cannot change any energy
+// figure — it exists so a scheduler that only learns an interval was
+// overhead (probe/steal lead) after charging it as Busy can keep the
+// busy/spin split truthful without rewinding the clock. The caller
+// must Sync (or otherwise charge) through the interval first; moving
+// more time than the core has accumulated as Busy panics.
+func (m *Machine) ReclassifyBusyAsSpin(id int, dt float64) {
+	if dt == 0 {
+		return
+	}
+	if dt < 0 || math.IsNaN(dt) {
+		panic(fmt.Sprintf("machine: reclassify negative interval %g", dt))
+	}
+	if dt > m.busyTime[id]+1e-9 {
+		panic(fmt.Sprintf("machine: reclassify %g s busy->spin but core %d has only %g s busy",
+			dt, id, m.busyTime[id]))
+	}
+	m.busyTime[id] -= dt
+	m.spinTime[id] += dt
+}
 
 // FreqCensus returns how many cores currently sit at each frequency
 // level — the quantity plotted per batch in the paper's Fig. 8.

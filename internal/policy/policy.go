@@ -190,6 +190,58 @@ func (pl *Placer) Place(class string) (core, group int) {
 	return c, g
 }
 
+// IndexedPlacer is Placer over compact per-batch class ids instead of
+// class-name strings: the group and placement-core list of every class
+// are resolved once at construction, and Place is pure array indexing
+// — no map operation per task. It is placement-identical to Placer for
+// any id↔name bijection (TestIndexedPlacerMatchesPlacer pins this), so
+// the simulator's SoA hot path can use it without perturbing
+// schedules.
+type IndexedPlacer struct {
+	scatter   bool
+	cores     int
+	seq       int
+	coreGroup []int
+	group     []int   // per class id: its c-group
+	members   [][]int // per class id: its placement cores
+	next      []int   // per class id: round-robin cursor
+}
+
+// NewIndexedPlacer builds a placer for plan on an m-core engine, for a
+// batch whose class id i is named classes[i]. Build one per batch.
+func NewIndexedPlacer(plan *Plan, cores int, classes []string) *IndexedPlacer {
+	pl := &IndexedPlacer{
+		scatter:   plan.ScatterAll,
+		cores:     cores,
+		coreGroup: plan.Assignment.CoreGroup,
+	}
+	if !pl.scatter {
+		n := len(classes)
+		pl.group = make([]int, n)
+		pl.members = make([][]int, n)
+		pl.next = make([]int, n)
+		for id, name := range classes {
+			pl.group[id] = plan.Assignment.GroupOfClass(name)
+			pl.members[id] = plan.Assignment.PlacementCores(name)
+		}
+	}
+	return pl
+}
+
+// Place returns the core and c-group pool the next task of class id
+// cid goes to, with exactly Placer.Place's discipline.
+func (pl *IndexedPlacer) Place(cid int32) (core, group int) {
+	if pl.scatter {
+		c := pl.seq % pl.cores
+		pl.seq++
+		return c, pl.coreGroup[c]
+	}
+	m := pl.members[cid]
+	c := m[pl.next[cid]%len(m)]
+	pl.next[cid]++
+	return c, pl.group[cid]
+}
+
 // --- Steal order ------------------------------------------------------
 
 // StealOrder enumerates the victim pools an out-of-work core probes, in

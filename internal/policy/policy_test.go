@@ -294,3 +294,49 @@ func TestEEWAOfflineRejectsZeroMaxWork(t *testing.T) {
 		t.Errorf("MaxWork=0 offline snapshot reached the adjuster: plan %+v", plan)
 	}
 }
+
+// TestIndexedPlacerMatchesPlacer pins IndexedPlacer to the string-keyed
+// Placer: for any plan and any id↔name bijection, the two must emit the
+// same (core, group) sequence for the same class sequence. The SoA sim
+// engine places through IndexedPlacer, so any divergence here would
+// silently perturb schedules.
+func TestIndexedPlacerMatchesPlacer(t *testing.T) {
+	asn, err := cgroup.FromLevels([]int{0, 0, 1, 1, 3, 3}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asn.ClassGroup["heavy"] = 0
+	asn.ClassGroup["mid"] = 1
+	asn.ClassGroup["light"] = 2
+	plans := map[string]*Plan{
+		"classes": {Assignment: asn},
+		"scatter": {Assignment: cgroup.AllFast(6, nil), ScatterAll: true},
+	}
+	// Two bijections: first-appearance order and a reversed one — the
+	// equivalence must not depend on how ids are assigned to names.
+	classes := []string{"heavy", "mid", "light", "never-profiled"}
+	orders := map[string][]string{
+		"forward":  classes,
+		"reversed": {"never-profiled", "light", "mid", "heavy"},
+	}
+	for planName, plan := range plans {
+		for orderName, order := range orders {
+			id := map[string]int32{}
+			for i, name := range order {
+				id[name] = int32(i)
+			}
+			ref := NewPlacer(plan, 6)
+			idx := NewIndexedPlacer(plan, 6, order)
+			rng := xrand.New(7)
+			for i := 0; i < 500; i++ {
+				name := classes[rng.Intn(len(classes))]
+				wc, wg := ref.Place(name)
+				gc, gg := idx.Place(id[name])
+				if wc != gc || wg != gg {
+					t.Fatalf("%s/%s task %d class %s: IndexedPlacer (%d,%d), Placer (%d,%d)",
+						planName, orderName, i, name, gc, gg, wc, wg)
+				}
+			}
+		}
+	}
+}

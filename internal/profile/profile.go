@@ -62,6 +62,7 @@ type Profiler struct {
 	classes map[string]*Class
 	order   []string // first-seen order, for deterministic iteration
 	raw     map[string]*rawStats
+	gen     uint64 // bumped by Reset; invalidates ClassRef caches
 
 	// memory-boundness bookkeeping
 	memBoundThreshold float64
@@ -100,16 +101,34 @@ func (p *Profiler) Normalize(t float64, level int) float64 {
 // observed wall time on a core at frequency level `level`;
 // missIntensity is the modeled cache-misses-per-instruction counter.
 func (p *Profiler) Record(name string, execTime float64, level int, missIntensity float64) {
-	if execTime < 0 {
-		panic(fmt.Sprintf("profile: negative execution time %g", execTime))
-	}
-	w := p.Normalize(execTime, level)
+	c, rs := p.entries(name)
+	p.recordInto(c, rs, execTime, level, missIntensity)
+}
+
+// entries returns (creating on first use) the class and raw-stats
+// records for name. Creation order is first-record order — the
+// deterministic tie-break Classes() sorts by.
+func (p *Profiler) entries(name string) (*Class, *rawStats) {
 	c, ok := p.classes[name]
 	if !ok {
 		c = &Class{Name: name}
 		p.classes[name] = c
 		p.order = append(p.order, name)
 	}
+	rs, ok := p.raw[name]
+	if !ok {
+		rs = &rawStats{sum: make([]float64, len(p.ladder)), count: make([]int, len(p.ladder))}
+		p.raw[name] = rs
+	}
+	return c, rs
+}
+
+// recordInto folds one completed task into pre-resolved entries.
+func (p *Profiler) recordInto(c *Class, rs *rawStats, execTime float64, level int, missIntensity float64) {
+	if execTime < 0 {
+		panic(fmt.Sprintf("profile: negative execution time %g", execTime))
+	}
+	w := p.Normalize(execTime, level)
 	// Running-average update, exactly TC(f, n+1, (n·w + wγ)/(n+1)).
 	c.AvgWork = (float64(c.Count)*c.AvgWork + w) / float64(c.Count+1)
 	c.Count++
@@ -117,11 +136,6 @@ func (p *Profiler) Record(name string, execTime float64, level int, missIntensit
 		c.MaxWork = w
 	}
 
-	rs, ok := p.raw[name]
-	if !ok {
-		rs = &rawStats{sum: make([]float64, len(p.ladder)), count: make([]int, len(p.ladder))}
-		p.raw[name] = rs
-	}
 	rs.sum[level] += execTime
 	rs.count[level]++
 
@@ -129,6 +143,38 @@ func (p *Profiler) Record(name string, execTime float64, level int, missIntensit
 	if missIntensity > p.memBoundThreshold {
 		p.memBoundTasks++
 	}
+}
+
+// ClassRef is a per-class recording handle that skips the two map
+// lookups Record pays per task. A ref survives Reset: it lazily
+// re-resolves its entries on first use in each profiling generation,
+// so classes are still registered in first-*completion* order per
+// batch (the order Classes() tie-breaks by) — holding a ref does not
+// by itself create the class.
+type ClassRef struct {
+	p     *Profiler
+	name  string
+	gen   uint64
+	class *Class
+	raw   *rawStats
+}
+
+// Ref returns a recording handle for class name. The handle is owned
+// by the profiler's thread (the sim event loop); it is not
+// concurrency-safe.
+func (p *Profiler) Ref(name string) *ClassRef {
+	return &ClassRef{p: p, name: name, gen: p.gen - 1}
+}
+
+// Record folds one completed task into the ref's class, exactly as
+// Profiler.Record(name, ...) would.
+func (r *ClassRef) Record(execTime float64, level int, missIntensity float64) {
+	p := r.p
+	if r.gen != p.gen {
+		r.class, r.raw = p.entries(r.name)
+		r.gen = p.gen
+	}
+	p.recordInto(r.class, r.raw, execTime, level, missIntensity)
 }
 
 // Classes returns the current task classes sorted by descending average
@@ -190,6 +236,7 @@ func (p *Profiler) MemoryBoundFraction() float64 {
 func (p *Profiler) Reset() {
 	p.classes = make(map[string]*Class)
 	p.order = p.order[:0]
+	p.gen++ // stale ClassRefs re-resolve on next Record
 	// Raw per-level observations persist across batches: the memory-
 	// bound frequency-response model needs samples from *different*
 	// batches (each run at different levels) to fit its two

@@ -1,0 +1,31 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/task"
+)
+
+// benchHotPath measures the simulator's per-task cost on a deep
+// single-class backlog: 3 batches × 1024 tasks on 4 cores, the regime
+// where the SoA hot path (pool pushes, indexed completion events,
+// profiler refs) dominates per-batch planning. It is the profiling
+// companion of eewa-benchjson's soa cells; allocs/op is per full run —
+// per-task allocations are zero once the slabs have grown.
+func benchHotPath(b *testing.B, p Policy) {
+	cfg := machine.Generic(4)
+	w := task.MustGenerate("dens", 3, []task.ClassSpec{
+		{Name: "dens", Count: 1024, MeanWork: 1e-4, JitterFrac: 0.2},
+	}, 42)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg, w, p, DefaultParams()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimHotPath(b *testing.B)     { benchHotPath(b, NewCilk()) }
+func BenchmarkSimHotPathEEWA(b *testing.B) { benchHotPath(b, NewEEWA()) }

@@ -114,12 +114,22 @@ func newEngineObs(reg *obs.Registry, levels int) engineObs {
 	return o
 }
 
-// engine executes one workload under one policy. Task pools are
-// deque.Ring instances — unsynchronized rings with the same
-// owner-LIFO / thief-FIFO semantics as the live runtime's Chase–Lev
-// deques (the deque property tests pin Ring to the Locked oracle); the
-// event loop is single-threaded, so per-operation synchronization
-// would buy nothing, and determinism is preserved.
+// engine executes one workload under one policy. The hot path is
+// struct-of-arrays: each batch is flattened into task.SoA parallel
+// arrays (class id, work, memory fraction, miss intensity) and task
+// *indices* flow through the pools — unsynchronized deque.Ring[int32]
+// rings with the same owner-LIFO / thief-FIFO semantics as the live
+// runtime's Chase–Lev deques (the deque property tests pin Ring to the
+// Locked oracle). The event loop is single-threaded, so per-operation
+// synchronization would buy nothing, and determinism is preserved.
+//
+// Nothing is allocated per task: completions are scheduled through
+// event.Queue.AtIndex as bare core indices (a core runs one task at a
+// time, so per-core running-task arrays carry what the completion
+// needs), placement runs through policy.IndexedPlacer over class ids,
+// and the profiler is fed through cached profile.ClassRef handles. The
+// SoA slab, the rings and every per-core array are reused across
+// batches.
 type engine struct {
 	cfg    machine.Config
 	m      *machine.Machine
@@ -128,10 +138,16 @@ type engine struct {
 	policy Policy
 	params Params
 
-	// pools[core][group] — reused across batches while the plan's group
-	// count u is stable (each batch drains them completely), rebuilt
-	// when u changes.
-	pools [][]deque.Deque[*task.Task]
+	// soa holds the current batch's task arrays; ratios[j] = F0/Fj.
+	soa    task.SoA
+	ratios []float64
+
+	// pools[c*u+g] — flattened task-index pools, reused across batches
+	// while the plan's group count u is stable (each batch drains them
+	// completely), rebuilt when u changes.
+	pools []*deque.Ring[int32]
+	u     int
+
 	asn   *cgroup.Assignment
 	plan  Plan
 	steal *policy.StealOrder
@@ -142,6 +158,26 @@ type engine struct {
 	walkers []*policy.VictimWalker
 
 	victimRNG []*xrand.RNG // per-core victim selection streams
+
+	// Per-batch per-class-id state, indexed by soa class id: the
+	// class's c-group under the current assignment, its profiler
+	// recording handle, and its resolved histogram children. refCache
+	// keeps one ClassRef per class name for the whole run (refs
+	// re-resolve across profiler generations).
+	classGroup []int
+	classRefs  []*profile.ClassRef
+	classH     []classHandles
+	refCache   map[string]*profile.ClassRef
+
+	// Per-core running-task state, valid from acquire to completion (a
+	// core runs at most one task at a time). Completion and wake-up
+	// events carry only a core index through event.Queue.AtIndex:
+	// payload c < Cores means complete(c), payload Cores+c means
+	// coreFree(c).
+	runTask  []int32
+	runExec  []float64
+	runLead  []float64
+	runLevel []int32
 
 	remaining      int
 	lastCompletion float64
@@ -191,6 +227,22 @@ func Run(cfg machine.Config, w *task.Workload, p Policy, params Params) (*Result
 		e.spanRec = sr
 	}
 	e.idleAt = make([]float64, cfg.Cores)
+	e.ratios = make([]float64, len(cfg.Freqs))
+	for j := range e.ratios {
+		e.ratios[j] = cfg.Freqs.Ratio(j)
+	}
+	e.refCache = make(map[string]*profile.ClassRef)
+	e.runTask = make([]int32, cfg.Cores)
+	e.runExec = make([]float64, cfg.Cores)
+	e.runLead = make([]float64, cfg.Cores)
+	e.runLevel = make([]int32, cfg.Cores)
+	e.q.SetIndexFn(func(v int32) {
+		if c := int(v); c < cfg.Cores {
+			e.complete(c)
+		} else {
+			e.coreFree(c - cfg.Cores)
+		}
+	})
 
 	env := &Env{Cfg: cfg, AdjusterCharge: params.AdjusterCharge}
 	for bi := range w.Batches {
@@ -291,9 +343,10 @@ func (e *engine) runBatch(bi int, b *task.Batch, env *Env) error {
 		e.idleAt[c] = -1
 	}
 
+	// The fan-out lands in one event-queue bucket (every core wakes at
+	// the same instant), so the whole batch start costs one heap touch.
 	for c := 0; c < e.cfg.Cores; c++ {
-		c := c
-		e.q.At(now, func() { e.coreFree(c) })
+		e.q.AtIndex(now, int32(e.cfg.Cores+c))
 	}
 	e.q.Run()
 
@@ -365,36 +418,58 @@ func (e *engine) observeBatch(bi int, dur float64, census []int, plan Plan) {
 	}
 }
 
-// place distributes the batch's tasks into pools per the plan's
-// placement discipline (policy.Placer — shared with the live runtime).
+// place flattens the batch into the SoA slab, resolves the per-class
+// metadata (c-group, profiler ref, histogram handles) once, and
+// distributes task indices into the pools per the plan's placement
+// discipline (policy.IndexedPlacer — placement-identical to the
+// string-keyed Placer the live runtime shares).
 func (e *engine) place(b *task.Batch) {
+	e.soa.Fill(b)
 	m, u := e.cfg.Cores, e.asn.U()
 	// A completed batch drains every pool (runBatch errors otherwise),
 	// so the rings can be reused as-is while the group count holds —
 	// only a plan with a different u forces a rebuild.
-	if len(e.pools) != m || len(e.pools[0]) != u {
-		e.pools = make([][]deque.Deque[*task.Task], m)
-		for c := range e.pools {
-			e.pools[c] = make([]deque.Deque[*task.Task], u)
-			for g := range e.pools[c] {
-				e.pools[c][g] = deque.NewRing[*task.Task]()
-			}
+	if len(e.pools) != m*u {
+		e.pools = make([]*deque.Ring[int32], m*u)
+		for i := range e.pools {
+			e.pools[i] = deque.NewRing[int32]()
 		}
 	}
-	pl := policy.NewPlacer(&e.plan, m)
-	for i := range b.Tasks {
-		t := &b.Tasks[i]
-		c, g := pl.Place(t.Class)
-		e.pools[c][g].PushBottom(t)
+	e.u = u
+
+	nc := len(e.soa.Classes)
+	if cap(e.classGroup) < nc {
+		e.classGroup = make([]int, nc)
+		e.classRefs = make([]*profile.ClassRef, nc)
+		e.classH = make([]classHandles, nc)
+	}
+	e.classGroup = e.classGroup[:nc]
+	e.classRefs = e.classRefs[:nc]
+	e.classH = e.classH[:nc]
+	for cid, name := range e.soa.Classes {
+		e.classGroup[cid] = e.asn.GroupOfClass(name)
+		ref, ok := e.refCache[name]
+		if !ok {
+			ref = e.prof.Ref(name)
+			e.refCache[name] = ref
+		}
+		e.classRefs[cid] = ref
+		e.classH[cid] = e.eo.class(name)
+	}
+
+	pl := policy.NewIndexedPlacer(&e.plan, m, e.soa.Classes)
+	for i, cid := range e.soa.ClassID {
+		c, g := pl.Place(cid)
+		e.pools[c*u+g].PushBottom(int32(i))
 	}
 }
 
 // coreFree fires every time core c needs new work.
 func (e *engine) coreFree(c int) {
 	now := e.q.Now()
-	t, probes, stolen, victimG := e.acquire(c)
+	ti, probes, stolen, victimG := e.acquire(c)
 	e.res.Probes += probes
-	if t == nil {
+	if ti < 0 {
 		e.eo.probeMisses.Add(float64(probes))
 		e.idleAt[c] = now
 		act := e.policy.OutOfWork(c)
@@ -409,7 +484,8 @@ func (e *engine) coreFree(c int) {
 	if stolen {
 		e.res.Steals++
 	}
-	if e.asn.GroupOfClass(t.Class) != e.asn.CoreGroup[c] {
+	cid := e.soa.ClassID[ti]
+	if e.classGroup[cid] != e.asn.CoreGroup[c] {
 		e.res.Migrated++
 		e.eo.migrations.Inc()
 	}
@@ -422,24 +498,40 @@ func (e *engine) coreFree(c int) {
 		}
 	}
 	level := e.m.Freq(c)
-	exec := t.TimeAt(e.cfg.Freqs.Ratio(level))
+	exec := e.soa.TimeAt(ti, e.ratios[level])
 	e.m.SetState(now, c, machine.Busy)
-	done := now + lead + exec
-	e.q.At(done, func() { e.complete(c, t, exec, level) })
+	e.runTask[c], e.runExec[c], e.runLead[c], e.runLevel[c] = ti, exec, lead, int32(level)
+	// One task runs per core at a time, so the completion event is just
+	// the core index — an AtIndex payload: no allocation and no pointer
+	// write per task.
+	e.q.AtIndex(now+lead+exec, int32(c))
 }
 
-// complete fires when core c finishes task t.
-func (e *engine) complete(c int, t *task.Task, exec float64, level int) {
+// complete fires when core c finishes its running task.
+func (e *engine) complete(c int) {
 	now := e.q.Now()
+	ti := e.runTask[c]
+	exec, lead, level := e.runExec[c], e.runLead[c], int(e.runLevel[c])
+	// The core was marked Busy at acquire time, but the first `lead`
+	// seconds of that interval were probe/steal overhead, not task
+	// execution — the recorded span is [now-exec, now]. Charge through
+	// now and reclassify the lead as Spinning so machine busy-seconds
+	// equal traced span-seconds exactly. Busy and Spinning draw the same
+	// power, so energy and all scheduling decisions are untouched.
+	if lead > 0 {
+		e.m.Sync(now)
+		e.m.ReclassifyBusyAsSpin(c, lead)
+	}
+	cid := e.soa.ClassID[ti]
 	if e.params.Recorder != nil {
-		e.params.Recorder.Record(c, now-exec, now, t.Class, level)
+		e.params.Recorder.Record(c, now-exec, now, e.soa.Classes[cid], level)
 	}
 	if e.eo.reg != nil {
-		h := e.eo.class(t.Class)
+		h := e.classH[cid]
 		h.wait.Observe(now - exec - e.batchStart)
 		h.lat.Observe(now - e.batchStart)
 	}
-	e.prof.Record(t.Class, exec, level, t.CacheMissIntensity)
+	e.classRefs[cid].Record(exec, level, e.soa.Miss[ti])
 	e.remaining--
 	if now > e.lastCompletion {
 		e.lastCompletion = now
@@ -447,41 +539,42 @@ func (e *engine) complete(c int, t *task.Task, exec float64, level int) {
 	e.coreFree(c)
 }
 
-// acquire finds the next task for core c, returning the task, the
-// number of pools probed, whether it was a remote steal, and the victim
-// c-group of a successful steal (-1 otherwise). The victim order —
-// classic random stealing or the paper's rob-the-weaker-first
-// preference walk — comes from the shared policy core.
-func (e *engine) acquire(c int) (*task.Task, int, bool, int) {
+// acquire finds the next task for core c, returning its SoA index (-1
+// when every reachable pool is dry), the number of pools probed,
+// whether it was a remote steal, and the victim c-group of a
+// successful steal (-1 otherwise). The victim order — classic random
+// stealing or the paper's rob-the-weaker-first preference walk — comes
+// from the shared policy core.
+func (e *engine) acquire(c int) (int32, int, bool, int) {
 	probes := 0
 	myG := e.asn.CoreGroup[c]
 	counted := e.eo.stealAttempts != nil
 
 	// Local pool first — both disciplines.
 	probes++
-	if t, ok := e.pools[c][myG].PopBottom(); ok {
-		return t, probes, false, -1
+	if ti, ok := e.pools[c*e.u+myG].PopBottom(); ok {
+		return ti, probes, false, -1
 	}
 
-	var got *task.Task
+	got := int32(-1)
 	victimG := -1
 	e.walkers[c].ForEachVictim(e.victimRNG[c], func(v, g int) bool {
 		probes++
 		if counted {
 			e.eo.stealAttempts[g].Inc()
 		}
-		t, ok := e.pools[v][g].Steal()
+		ti, ok := e.pools[v*e.u+g].Steal()
 		if !ok {
 			return false
 		}
 		if counted {
 			e.eo.steals[g].Inc()
 		}
-		got, victimG = t, g
+		got, victimG = ti, g
 		return true
 	})
-	if got == nil {
-		return nil, probes, false, -1
+	if got < 0 {
+		return -1, probes, false, -1
 	}
 	return got, probes, true, victimG
 }

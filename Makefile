@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-check sweep sweep-parity cluster-sweep cluster-demo check check-long cover experiments examples obs-demo serve-demo density density-smoke traffic-smoke clean
+.PHONY: all build vet test race race-serve bench bench-check sweep sweep-parity cluster-sweep cluster-demo check check-long cover experiments examples obs-demo serve-demo density density-smoke serve-capacity-smoke traffic-smoke clean
 
 all: build vet test
 
@@ -17,6 +17,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# The ingest/admission packages twice under the race detector: the
+# striped admission queues, pooled jobs and concurrent storm tests are
+# where a lifecycle bug would surface.
+race-serve:
+	$(GO) test -race -count=2 ./internal/serve/ ./internal/traffic/
 
 # Full bench harness: Go benchmarks plus the machine-readable
 # policy × {makespan, energy, host-ns} record. BENCH_sched.json is the
@@ -115,7 +121,7 @@ serve-demo:
 # + allocs/task per cell, and detect the saturation knee. Writes the
 # versioned BENCH_density.json artifact.
 density:
-	$(GO) run ./cmd/eewa-density -out BENCH_density.json
+	$(GO) run ./cmd/eewa-density -serve-mode both -out BENCH_density.json
 
 # CI variant: a small grid (seconds, not minutes) that still exercises
 # both engines, both policies, and the knee detector end to end.
@@ -125,6 +131,26 @@ density-smoke:
 		-cell-ms 800 -calib-ms 300 -out BENCH_density.json
 	@grep -q '"version": 1' BENCH_density.json
 	@echo "density smoke OK: BENCH_density.json written"
+
+# Closed-loop serve capacity smoke for CI: ramp closed-loop clients
+# through the ingest fast path and fail unless the sustained step stays
+# within the alloc/job budget (pooled decode, striped admission and
+# preallocated responses hold it near 10-13 allocs/job; the pre-pooling
+# path ran 75-113, so 25 catches any real regression with CI headroom).
+# The second pass exercises /v1/jobs:batch coalescing, which lifts the
+# RTT-bound single-client rate ~8x on the same budget.
+serve-capacity-smoke:
+	$(GO) run ./cmd/eewa-density -engines serve -serve-mode closed \
+		-policies eewa -cores 2 -func sha1 -size-bytes 256 -job-tasks 1 \
+		-capacity-clients 16 -capacity-step-ms 700 -capacity-warmup-ms 200 \
+		-max-allocs-per-job 25 -out BENCH_capacity_smoke.json
+	$(GO) run ./cmd/eewa-density -engines serve -serve-mode closed \
+		-policies eewa -cores 2 -func sha1 -size-bytes 256 -job-tasks 1 \
+		-capacity-clients 1 -capacity-batch 16 -capacity-step-ms 700 -capacity-warmup-ms 200 \
+		-max-allocs-per-job 25 -out BENCH_capacity_smoke.json
+	@grep -q '"mode": "closed"' BENCH_capacity_smoke.json
+	@rm -f BENCH_capacity_smoke.json
+	@echo "serve capacity smoke OK: sustained steps within the alloc/job budget"
 
 # Traffic harness smoke: generate the 5 s golden diurnal trace, verify
 # it is byte-identical to the checked-in fixture (generator/RNG drift

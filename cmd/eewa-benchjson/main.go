@@ -15,7 +15,11 @@
 //     against the same run's cilk sim throughput; the ratio may not
 //     regress more than -max-serve-regress (the router-overhead gate:
 //     the routing tier must stay within a few percent of the
-//     pre-router server this baseline was seeded from);
+//     pre-router server this baseline was seeded from). The same cell
+//     budgets allocs/job against the baseline (-max-alloc-regress plus
+//     2 allocs of slack) — the ingest fast path's pooled decode,
+//     striped admission and preallocated responses must not leak
+//     allocations back onto the request path;
 //   - the soa cells run a deep synthetic backlog (-soa-depth tasks per
 //     batch) through the simulator's struct-of-arrays hot path, where
 //     per-task costs dominate per-batch setup. They gate like the sim
@@ -91,6 +95,11 @@ type ServeRecord struct {
 	// cancel; the router-overhead gate compares this ratio against the
 	// baseline's.
 	NormThroughput float64 `json:"norm_throughput"`
+	// AllocsPerJob is the median per-repetition heap allocation count
+	// over completed jobs — the whole process during the closed-loop
+	// drive, so it covers decode, admission, batching and response
+	// encoding. The ingest fast path (DESIGN.md §12) budgets this.
+	AllocsPerJob float64 `json:"allocs_per_job,omitempty"`
 }
 
 // SoACell is one policy's deep-backlog scheduling-rate measurement:
@@ -142,11 +151,11 @@ func main() {
 		log.Fatal(err)
 	}
 	if *serveMS > 0 {
-		tps, norm, err := measureServe(*cores, time.Duration(*serveMS)*time.Millisecond, *serveReps)
+		tps, norm, apj, err := measureServe(*cores, time.Duration(*serveMS)*time.Millisecond, *serveReps)
 		if err != nil {
 			log.Fatal(err)
 		}
-		rec.Serve = &ServeRecord{TasksPerSec: tps, NormThroughput: norm}
+		rec.Serve = &ServeRecord{TasksPerSec: tps, NormThroughput: norm, AllocsPerJob: apj}
 	}
 	if *soaDepth > 0 {
 		soa, err := measureSoA(*cores, *soaDepth, *reps)
@@ -307,12 +316,14 @@ func measure(benchName string, cores, seeds, reps int) (*Record, error) {
 // also times a cilk sim reference back-to-back, so the normalized
 // ratio the gate compares is computed within one rep — host noise hits
 // both sides and cancels, exactly like the sim gate's within-rep
-// cilk-relative ratios. Returns the fastest rep's raw tasks/s and the
-// median within-rep ratio.
-func measureServe(workers int, dur time.Duration, reps int) (tps, norm float64, err error) {
+// cilk-relative ratios. Returns the fastest rep's raw tasks/s, the
+// best-of-reps ratio, and the median per-rep allocs per completed job
+// (process-wide MemStats deltas over the drive + drain, so decode,
+// admission, batching and encoding are all inside the budget).
+func measureServe(workers int, dur time.Duration, reps int) (tps, norm, allocsPerJob float64, err error) {
 	bench, err := workloads.ByName("sha1")
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	cfg := machine.Generic(workers)
 	// simRef measures the cilk simulator's tasks/s under the host
@@ -344,10 +355,11 @@ func measureServe(workers int, dur time.Duration, reps int) (tps, norm float64, 
 
 	var seq atomic.Uint64
 	var bestSim float64
+	var allocSamples []float64
 	for rep := 0; rep < reps; rep++ {
 		simRate, err := simRef()
 		if err != nil {
-			return 0, 0, err
+			return 0, 0, 0, err
 		}
 		if simRate > bestSim {
 			bestSim = simRate
@@ -358,9 +370,11 @@ func measureServe(workers int, dur time.Duration, reps int) (tps, norm float64, 
 			FlushEvery: 2 * time.Millisecond,
 		})
 		if err != nil {
-			return 0, 0, err
+			return 0, 0, 0, err
 		}
 		h := srv.Handler()
+		var m0 runtime.MemStats
+		runtime.ReadMemStats(&m0)
 		begin := time.Now()
 		stop := begin.Add(dur)
 		var wg sync.WaitGroup
@@ -384,14 +398,19 @@ func measureServe(workers int, dur time.Duration, reps int) (tps, norm float64, 
 		err = srv.Drain(ctx)
 		cancel()
 		if err != nil {
-			return 0, 0, err
+			return 0, 0, 0, err
 		}
 		wall := time.Since(begin).Seconds()
-		tasks := srv.Stats().Tasks
-		if tasks == 0 {
-			return 0, 0, fmt.Errorf("serve cell completed no tasks in %s", dur)
+		var m1 runtime.MemStats
+		runtime.ReadMemStats(&m1)
+		st := srv.Stats()
+		if st.Tasks == 0 {
+			return 0, 0, 0, fmt.Errorf("serve cell completed no tasks in %s", dur)
 		}
-		rate := float64(tasks) / wall
+		if st.Completed > 0 {
+			allocSamples = append(allocSamples, float64(m1.Mallocs-m0.Mallocs)/float64(st.Completed))
+		}
+		rate := float64(st.Tasks) / wall
 		if rate > tps {
 			tps = rate
 		}
@@ -401,7 +420,7 @@ func measureServe(workers int, dur time.Duration, reps int) (tps, norm float64, 
 	// fastest rep is the low-variance estimate of true capability, and
 	// pairing best serve with best sim keeps the normalized ratio from
 	// inheriting per-rep jitter on either side.
-	return tps, tps / bestSim, nil
+	return tps, tps / bestSim, median(allocSamples), nil
 }
 
 // measureSoA times the simulator's deep-backlog hot path for cilk and
@@ -609,6 +628,20 @@ func check(base, cur *Record, maxRegress, maxAllocRegress, maxServeRegress float
 	} else if cur.Serve != nil && base.Serve == nil {
 		fmt.Printf("note: baseline has no serve cell — recording %.0f tasks/s (norm %.3f) fresh\n",
 			cur.Serve.TasksPerSec, cur.Serve.NormThroughput)
+	}
+	if base.Serve != nil && cur.Serve != nil && cur.Serve.AllocsPerJob > 0 {
+		if base.Serve.AllocsPerJob > 0 {
+			// Absolute slack of 2 allocs/job keeps fixed-cost jitter
+			// (GC bookkeeping, ticker wakeups at low job counts) from
+			// tripping a relative gate on the near-zero ingest path.
+			if cur.Serve.AllocsPerJob > base.Serve.AllocsPerJob*(1+maxAllocRegress)+2 {
+				return fmt.Errorf("serve allocs/job regressed %.1f → %.1f, budget %.0f%% + 2",
+					base.Serve.AllocsPerJob, cur.Serve.AllocsPerJob, 100*maxAllocRegress)
+			}
+		} else {
+			fmt.Printf("note: baseline has no serve allocs/job — recording %.1f fresh\n",
+				cur.Serve.AllocsPerJob)
+		}
 	}
 	if n == 0 {
 		return nil

@@ -17,6 +17,15 @@
 //     multiples of a calibrated closed-loop capacity. Latency is wall
 //     end-to-end seconds since admission (Server.LatencySummary).
 //
+// The serve engine additionally has a closed-loop capacity mode
+// (-serve-mode closed or both): N clients each keep one request
+// outstanding, N ramps until client-observed p99 knees, and the cells
+// report the maximum sustained jobs/s, heap allocations per job and
+// wall ns per job (mode "closed" in the artifact). -capacity-batch
+// submits N jobs per request through /v1/jobs:batch instead of one
+// per /v1/jobs. -max-allocs-per-job turns the sustained step's
+// allocation count into a CI gate.
+//
 // Every cell records p50/p95/p99, scheduling rate, and host heap
 // allocations per task. The report (BENCH_density.json, schema
 // internal/density) includes the detected saturation knee per
@@ -28,6 +37,7 @@
 //	eewa-density -out BENCH_density.json
 //	eewa-density -engines sim -policies cilk,eewa -depths 16,64,256,1024
 //	eewa-density -engines serve -load-mults 0.25,1,4 -cell-ms 2000
+//	eewa-density -engines serve -serve-mode closed -capacity-clients 1,2,4,8
 //	eewa-density -debug-addr :6060   # live /metrics + /debug/pprof per cell
 package main
 
@@ -82,6 +92,12 @@ func main() {
 		sizeBytes  = flag.Int("size-bytes", 65536, "serve: corpus bytes per task")
 		funcName   = flag.String("func", "dmc", "serve: kernel to drive (one of the servable funcs)")
 		traceIn    = flag.String("trace-in", "", "serve: replay this traffic trace instead of synthetic load; -load-mults become time-compression factors over the trace's native rate")
+		serveMode  = flag.String("serve-mode", "open", "serve sweep mode: open (load sweep), closed (capacity ramp), both")
+		capClients = flag.String("capacity-clients", "1,2,4,8,16,32", "closed mode: client-concurrency ramp")
+		capBatch   = flag.Int("capacity-batch", 1, "closed mode: jobs per request (>1 posts /v1/jobs:batch)")
+		capWarmMS  = flag.Int("capacity-warmup-ms", 300, "closed mode: warmup before each step's window, milliseconds")
+		capStepMS  = flag.Int("capacity-step-ms", 1000, "closed mode: measurement window per step, milliseconds")
+		maxAllocs  = flag.Float64("max-allocs-per-job", 0, "closed mode: fail if the sustained step allocates more than this per job (0 = no gate)")
 	)
 	flag.Parse()
 
@@ -104,6 +120,19 @@ func main() {
 	shardCounts, err := parseInts(*shardsList)
 	if err != nil {
 		log.Fatalf("-shards: %v", err)
+	}
+	modeSet, err := parseList(*serveMode, map[string]bool{"open": true, "closed": true, "both": true})
+	if err != nil {
+		log.Fatalf("-serve-mode: %v", err)
+	}
+	openLoop := modeSet["open"] || modeSet["both"]
+	closedLoop := modeSet["closed"] || modeSet["both"]
+	clientRamp, err := parseInts(*capClients)
+	if err != nil {
+		log.Fatalf("-capacity-clients: %v", err)
+	}
+	if *capBatch < 1 {
+		log.Fatalf("-capacity-batch: need >= 1, got %d", *capBatch)
 	}
 	var trace *traffic.Trace
 	if *traceIn != "" {
@@ -128,6 +157,7 @@ func main() {
 	}
 
 	rep := density.New(*threshold)
+	var allocGate []string
 	for _, pol := range polList {
 		if _, err := policy.New(pol, machine.Generic(*cores)); err != nil {
 			log.Fatal(err)
@@ -149,6 +179,33 @@ func main() {
 					policy: pol, workers: *cores, shards: shards, seed: *seed,
 					jobTasks: *jobTasks, sizeBytes: *sizeBytes, fn: *funcName,
 					cellDur: time.Duration(*cellMS) * time.Millisecond,
+				}
+				if closedLoop {
+					res, err := sc.capacityCells(density.ClosedLoopConfig{
+						Clients:       clientRamp,
+						Warmup:        time.Duration(*capWarmMS) * time.Millisecond,
+						Step:          time.Duration(*capStepMS) * time.Millisecond,
+						KneeThreshold: *threshold,
+					}, *capBatch, dbg)
+					if err != nil {
+						log.Fatalf("serve %s shards %d capacity: %v", pol, shards, err)
+					}
+					for _, s := range res.Steps {
+						cell := s.Cell(pol, shards, sc.jobTasks, *capBatch)
+						logCell(cell)
+						rep.Add(cell)
+					}
+					best := res.Steps[res.MaxStep]
+					log.Printf("serve/%-6s shards=%d capacity: %.0f jobs/s sustained at %d clients (%.1f allocs/job, %.0f ns/job)",
+						pol, shards, res.MaxJobsPerSec, best.Clients, best.AllocsPerJob, best.NsPerJob)
+					if *maxAllocs > 0 && best.AllocsPerJob > *maxAllocs {
+						allocGate = append(allocGate, fmt.Sprintf(
+							"serve/%s shards=%d: %.1f allocs/job at the sustained step exceeds the %.1f budget",
+							pol, shards, best.AllocsPerJob, *maxAllocs))
+					}
+				}
+				if !openLoop {
+					continue
 				}
 				if trace != nil {
 					// Trace-driven sweep: the load axis is time compression —
@@ -205,16 +262,35 @@ func main() {
 	}
 	if *out == "-" {
 		os.Stdout.Write(buf.Bytes())
+		failAllocGate(allocGate)
 		return
 	}
 	if err := os.WriteFile(*out, buf.Bytes(), 0o644); err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("wrote %s (%d cells, %d knees)", *out, len(rep.Cells), len(rep.Knees))
+	failAllocGate(allocGate)
+}
+
+// failAllocGate exits nonzero on budget violations — after the report
+// is written, so the artifact documenting the failure survives.
+func failAllocGate(violations []string) {
+	if len(violations) == 0 {
+		return
+	}
+	for _, v := range violations {
+		log.Printf("ALLOC BUDGET EXCEEDED: %s", v)
+	}
+	log.Fatalf("%d allocation budget violation(s)", len(violations))
 }
 
 func logCell(c density.Cell) {
 	axis, at := c.Axis()
+	if c.Mode == "closed" {
+		log.Printf("%s/%-6s %s=%-8.4g jobs/s=%-7.0f allocs/job=%-7.1f ns/job=%-9.0f p50=%.3gs p99=%.3gs",
+			c.Engine, c.Policy, axis, at, c.JobsPerSec, c.AllocsPerJob, c.NsPerJob, c.P50S, c.P99S)
+		return
+	}
 	log.Printf("%s/%-6s %s=%-8.4g tasks=%-6d rate=%.0f/s p50=%.3gs p99=%.3gs allocs/task=%.1f",
 		c.Engine, c.Policy, axis, at, c.Tasks, c.RateTPS, c.P50S, c.P99S, c.AllocsPerTask)
 }
@@ -321,6 +397,54 @@ func (sc *serveSweep) postJob(h http.Handler) int {
 	return w.Code
 }
 
+// capacityCells runs the closed-loop capacity ramp for this topology.
+// Each ramp step gets a fresh server (and a fresh registry on the
+// debug endpoint); clients carry distinct tenants so per-tenant
+// admission state is spread the way a real multi-tenant storm would
+// spread it.
+func (sc *serveSweep) capacityCells(cfg density.ClosedLoopConfig, batch int, dbg *swapHandler) (*density.ClosedResult, error) {
+	cfg.NewHandler = func() (http.Handler, func()) {
+		reg := obs.NewRegistry()
+		dbg.set(reg)
+		srv, err := sc.newServer(reg)
+		if err != nil {
+			log.Fatalf("serve %s shards %d: %v", sc.policy, sc.shards, err)
+		}
+		return srv.Handler(), func() {
+			if err := drain(srv); err != nil {
+				log.Fatalf("serve %s shards %d drain: %v", sc.policy, sc.shards, err)
+			}
+		}
+	}
+	cfg.JobsPerRequest = batch
+	cfg.TasksPerJob = sc.jobTasks
+	cfg.Path = "/v1/jobs"
+	if batch > 1 {
+		cfg.Path = "/v1/jobs:batch"
+	}
+	cfg.BodyFor = func(client int) []byte {
+		one := serve.JobRequest{
+			Tenant: "t" + strconv.Itoa(client), Func: sc.fn,
+			Count: sc.jobTasks, SizeBytes: sc.sizeBytes,
+			Seed: sc.jobSeq.Add(1),
+		}
+		if batch == 1 {
+			b, _ := json.Marshal(one)
+			return b
+		}
+		jobs := make([]serve.JobRequest, batch)
+		for i := range jobs {
+			jobs[i] = one
+			jobs[i].Seed = sc.jobSeq.Add(1)
+		}
+		b, _ := json.Marshal(struct {
+			Jobs []serve.JobRequest `json:"jobs"`
+		}{jobs})
+		return b
+	}
+	return density.ClosedLoop(cfg)
+}
+
 // calibrate measures closed-loop capacity (tasks/s): 2×workers
 // submitters each keep one job outstanding for `dur`. The open-loop
 // sweep offers multiples of this rate.
@@ -413,8 +537,10 @@ func (sc *serveSweep) cell(loadTPS float64, dbg *swapHandler) (density.Cell, err
 	if sc.shards > 1 {
 		cell.Shards = sc.shards
 	}
+	cell.OfferedTPS = loadTPS
 	if wall > 0 {
 		cell.RateTPS = float64(st.Tasks) / wall
+		cell.AchievedTPS = cell.RateTPS
 	}
 	if st.Tasks > 0 {
 		// Includes the driver's own marshal/recorder allocations — a
@@ -467,8 +593,10 @@ func (sc *serveSweep) traceCell(tr *traffic.Trace, speed float64, dbg *swapHandl
 	if sc.shards > 1 {
 		cell.Shards = sc.shards
 	}
+	cell.OfferedTPS = loadTPS
 	if wall > 0 {
 		cell.RateTPS = float64(stats.Tasks) / wall
+		cell.AchievedTPS = cell.RateTPS
 	}
 	if stats.Tasks > 0 {
 		cell.AllocsPerTask = float64(m1.Mallocs-m0.Mallocs) / float64(stats.Tasks)

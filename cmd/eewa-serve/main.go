@@ -35,6 +35,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"runtime"
 	"os/signal"
 	"strings"
 	"sync"
@@ -70,7 +71,20 @@ func main() {
 	captureOut := flag.String("capture-out", "", "record job submissions and write them as a replayable traffic trace here on drain")
 	drainSecs := flag.Int("drain-timeout", 60, "seconds to wait for the drain to finish")
 	demo := flag.Bool("demo", false, "drive a burst of submissions against the server, print the outcome, drain and exit")
+	stripes := flag.Int("admission-stripes", 0, "admission queue stripes per shard (0 = derive from GOMAXPROCS, rounded to a power of two)")
+	mutexFrac := flag.Int("mutexprofile", 0, "sample 1/N mutex contention events into /debug/pprof/mutex (0 = off)")
+	blockRate := flag.Int("blockprofile", 0, "sample blocking events ≥ N ns into /debug/pprof/block (0 = off)")
 	flag.Parse()
+
+	// Contention profiling: off by default (sampling costs the hot
+	// path); the pprof endpoints are already mounted via the obs
+	// handler, these flags just turn the samplers on.
+	if *mutexFrac > 0 {
+		runtime.SetMutexProfileFraction(*mutexFrac)
+	}
+	if *blockRate > 0 {
+		runtime.SetBlockProfileRate(*blockRate)
+	}
 
 	known := false
 	for _, id := range policy.IDs() {
@@ -99,6 +113,8 @@ func main() {
 		QueueDepth:  *queueDepth,
 		MaxInFlight: *maxInflight,
 		GoMetrics:   *goMetrics,
+
+		AdmissionStripes: *stripes,
 	}
 	switch *ladderSplit {
 	case "uniform":

@@ -154,6 +154,7 @@ func cmdReplay(args []string) {
 	cores := fs.Int("cores", 8, "sim: simulated cores")
 	target := fs.String("target", "", "wall: base URL of a live server to drive")
 	speed := fs.Float64("speed", 1, "wall: time compression factor (2 = replay twice as fast)")
+	wallBatch := fs.Int("wall-batch", 1, "wall: coalesce N consecutive events per request via /v1/jobs:batch")
 	_ = fs.Parse(args)
 
 	if *in == "" {
@@ -247,7 +248,7 @@ func cmdReplay(args []string) {
 		proxy := httputil.NewSingleHostReverseProxy(u)
 		ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 		defer stop()
-		st, err := traffic.ReplayWall(ctx, proxy, tr, *speed)
+		st, err := traffic.ReplayWallBatch(ctx, proxy, tr, *speed, *wallBatch)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -18,35 +18,70 @@ const Version = 1
 
 // Cell is one measurement point of the sweep.
 //
-// The sweep axis differs per engine: the simulator sweeps backlog
-// depth (tasks admitted per batch, Depth), the serve engine sweeps
-// offered load (open-loop tasks/s, LoadTPS). Axis() picks the active
-// one.
+// The sweep axis differs per engine and mode: the simulator sweeps
+// backlog depth (tasks admitted per batch, Depth), the serve engine
+// sweeps offered load (open-loop tasks/s, LoadTPS) or, in closed-loop
+// capacity mode (Mode "closed"), concurrent clients. Axis() picks the
+// active one.
 type Cell struct {
 	Engine string `json:"engine"` // "sim" or "serve"
 	Policy string `json:"policy"` // canonical policy id
 	// Shards is the routed cluster width for serve cells (omitted when
 	// 0 or 1, the pre-router shape, so old artifacts stay comparable).
 	Shards int `json:"shards,omitempty"`
+	// Mode distinguishes serve sweeps: "" is the historical open-loop
+	// load sweep (and every sim cell); "closed" is the closed-loop
+	// capacity ramp, where Clients is the axis. All capacity fields
+	// are omitempty, so pre-capacity artifacts parse unchanged under
+	// the same schema version.
+	Mode string `json:"mode,omitempty"`
+	// Clients is the closed-loop concurrency of this step (each client
+	// keeps exactly one request outstanding).
+	Clients int `json:"clients,omitempty"`
+	// BatchSubmit is the number of jobs per HTTP request in closed-loop
+	// cells: 1 means one POST /v1/jobs per job, N > 1 means N jobs per
+	// POST /v1/jobs:batch.
+	BatchSubmit int `json:"batch_submit,omitempty"`
 
 	Depth   int     `json:"depth"`              // backlog depth in tasks (sim axis; serve: summed MaxInFlight bound)
-	LoadTPS float64 `json:"load_tps,omitempty"` // offered load in tasks/s (serve axis; 0 for sim)
+	LoadTPS float64 `json:"load_tps,omitempty"` // offered load in tasks/s (open-loop serve axis; 0 otherwise)
 
 	Tasks   int     `json:"tasks"`          // tasks completed in the cell
 	WallS   float64 `json:"wall_s"`         // host wall time measuring the cell
 	RateTPS float64 `json:"sched_rate_tps"` // scheduling rate: tasks / wall
+
+	// OfferedTPS and AchievedTPS label the serve throughput honestly:
+	// OfferedTPS is the open-loop arrival rate the driver aimed at
+	// (equal to LoadTPS; absent for closed-loop cells, which have no
+	// offered rate), AchievedTPS the rate the server actually completed
+	// (tasks / wall — numerically RateTPS, named for what it is). The
+	// bare sched_rate_tps in old serve cells read as capacity but was
+	// just the offered load echoed back whenever the server kept up.
+	OfferedTPS  float64 `json:"offered_rate_tps,omitempty"`
+	AchievedTPS float64 `json:"achieved_rate_tps,omitempty"`
 
 	P50S float64 `json:"p50_s"` // task-latency quantiles (sim: simulated
 	P95S float64 `json:"p95_s"` // seconds since batch start; serve: wall
 	P99S float64 `json:"p99_s"` // end-to-end seconds since admission)
 
 	AllocsPerTask float64 `json:"allocs_per_task"` // host heap allocations per task
-	EnergyJ       float64 `json:"energy_j,omitempty"`
-	Rejected      uint64  `json:"rejected,omitempty"` // serve: jobs refused by backpressure
+	// Closed-loop capacity measurements, per completed job: jobs/s
+	// sustained at this concurrency, heap allocations per job (driver +
+	// server; the driver is pool-backed and near-zero), and wall
+	// nanoseconds per job (inverse throughput).
+	JobsPerSec   float64 `json:"jobs_per_sec,omitempty"`
+	AllocsPerJob float64 `json:"allocs_per_job,omitempty"`
+	NsPerJob     float64 `json:"ns_per_job,omitempty"`
+
+	EnergyJ  float64 `json:"energy_j,omitempty"`
+	Rejected uint64  `json:"rejected,omitempty"` // serve: jobs refused by backpressure
 }
 
 // Axis returns the sweep-axis name and this cell's position on it.
 func (c Cell) Axis() (string, float64) {
+	if c.Clients > 0 {
+		return "clients", float64(c.Clients)
+	}
 	if c.LoadTPS > 0 {
 		return "load_tps", c.LoadTPS
 	}
@@ -54,14 +89,16 @@ func (c Cell) Axis() (string, float64) {
 }
 
 // Knee is the detected saturation point of one (engine, policy,
-// shards) sweep: the first step whose p99 exceeds Threshold × the
-// unloaded baseline (the sweep's lowest step). When no step crosses,
-// Found is false and At/KneeP99 describe the last step observed.
+// shards, mode) sweep: the first step whose p99 exceeds Threshold ×
+// the unloaded baseline (the sweep's lowest step). When no step
+// crosses, Found is false and At/KneeP99 describe the last step
+// observed.
 type Knee struct {
 	Engine      string  `json:"engine"`
 	Policy      string  `json:"policy"`
 	Shards      int     `json:"shards,omitempty"`
-	Axis        string  `json:"axis"` // "depth" or "load_tps"
+	Mode        string  `json:"mode,omitempty"`
+	Axis        string  `json:"axis"` // "depth", "load_tps" or "clients"
 	At          float64 `json:"at"`   // axis value of the knee (or last step)
 	Found       bool    `json:"found"`
 	BaselineP99 float64 `json:"baseline_p99_s"`
@@ -88,12 +125,13 @@ func (r *Report) Add(c Cell) { r.Cells = append(r.Cells, c) }
 // Finalize recomputes the knees from the accumulated cells.
 func (r *Report) Finalize() { r.Knees = DetectKnees(r.Cells, r.Threshold) }
 
-// DetectKnees groups cells by (engine, policy, shards), orders each
-// group along its sweep axis, and finds the first step whose p99
+// DetectKnees groups cells by (engine, policy, shards, mode), orders
+// each group along its sweep axis, and finds the first step whose p99
 // exceeds threshold × the group's baseline p99 (the lowest step). A
-// zero Shards groups with 1 — both are the single-runtime shape.
-// Groups are returned in sorted (engine, policy, shards) order so the
-// artifact is deterministic.
+// zero Shards groups with 1 — both are the single-runtime shape —
+// and mode keeps closed-loop capacity ramps from mixing into the
+// open-loop load sweep. Groups are returned in sorted (engine,
+// policy, shards, mode) order so the artifact is deterministic.
 func DetectKnees(cells []Cell, threshold float64) []Knee {
 	if threshold <= 1 {
 		threshold = 2 // a knee must at least exceed the baseline
@@ -101,13 +139,14 @@ func DetectKnees(cells []Cell, threshold float64) []Knee {
 	type groupKey struct {
 		engine, policy string
 		shards         int
+		mode           string
 	}
 	norm := func(c Cell) groupKey {
 		sh := c.Shards
 		if sh <= 1 {
 			sh = 1
 		}
-		return groupKey{c.Engine, c.Policy, sh}
+		return groupKey{c.Engine, c.Policy, sh, c.Mode}
 	}
 	groups := map[groupKey][]Cell{}
 	for _, c := range cells {
@@ -125,7 +164,10 @@ func DetectKnees(cells []Cell, threshold float64) []Knee {
 		if keys[i].policy != keys[j].policy {
 			return keys[i].policy < keys[j].policy
 		}
-		return keys[i].shards < keys[j].shards
+		if keys[i].shards != keys[j].shards {
+			return keys[i].shards < keys[j].shards
+		}
+		return keys[i].mode < keys[j].mode
 	})
 
 	var knees []Knee
@@ -138,7 +180,7 @@ func DetectKnees(cells []Cell, threshold float64) []Knee {
 		})
 		axis, at0 := g[0].Axis()
 		kn := Knee{
-			Engine: k.engine, Policy: k.policy, Axis: axis,
+			Engine: k.engine, Policy: k.policy, Mode: k.mode, Axis: axis,
 			At: at0, BaselineP99: g[0].P99S, KneeP99: g[0].P99S,
 			Threshold: threshold,
 		}

@@ -17,12 +17,20 @@ var corpusWords = []string{
 // TextCorpus returns n bytes of compressible pseudo-text,
 // deterministic in seed.
 func TextCorpus(seed uint64, n int) []byte {
+	out := make([]byte, n)
+	TextCorpusInto(out, seed)
+	return out
+}
+
+// TextCorpusInto fills dst with the same bytes TextCorpus(seed,
+// len(dst)) would return, without allocating — the serve ingest path
+// reuses one corpus slab across pooled jobs.
+func TextCorpusInto(dst []byte, seed uint64) {
 	rng := xrand.New(seed)
-	out := make([]byte, 0, n+16)
-	for len(out) < n {
-		out = append(out, corpusWords[rng.Intn(len(corpusWords))]...)
+	i := 0
+	for i < len(dst) {
+		i += copy(dst[i:], corpusWords[rng.Intn(len(corpusWords))])
 	}
-	return out[:n]
 }
 
 // RandomCorpus returns n bytes of incompressible pseudo-random data.
@@ -38,16 +46,24 @@ func RandomCorpus(seed uint64, n int) []byte {
 // StructuredCorpus returns n bytes of periodic data with short runs —
 // the profile of tabular or sensor-log inputs.
 func StructuredCorpus(seed uint64, n int) []byte {
+	out := make([]byte, n)
+	StructuredCorpusInto(out, seed)
+	return out
+}
+
+// StructuredCorpusInto fills dst with the same bytes
+// StructuredCorpus(seed, len(dst)) would return, without allocating.
+func StructuredCorpusInto(dst []byte, seed uint64) {
 	rng := xrand.New(seed)
-	out := make([]byte, 0, n)
-	for len(out) < n {
+	i := 0
+	for i < len(dst) {
 		b := byte(rng.Intn(16) * 13)
 		run := rng.Intn(7) + 1
-		for r := 0; r < run && len(out) < n; r++ {
-			out = append(out, b)
+		for r := 0; r < run && i < len(dst); r++ {
+			dst[i] = b
+			i++
 		}
 	}
-	return out
 }
 
 // GradientImage returns a w×h grayscale test image with smooth

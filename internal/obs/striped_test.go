@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Striped counters/gauges must agree with their plain equivalents
+// under concurrent hammering: every Add lands on exactly one cell, so
+// the cell sum is exact, not approximate.
+func TestStripedCounterConcurrentSum(t *testing.T) {
+	c := NewStripedCounter(8)
+	const workers, per = 16, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := c.Value(), float64(workers*per); got != want {
+		t.Fatalf("striped counter = %g, want %g", got, want)
+	}
+	c.Add(-5) // counters are monotone: negative adds ignored
+	if got := c.Value(); got != float64(workers*per) {
+		t.Fatalf("negative Add changed counter to %g", got)
+	}
+}
+
+func TestStripedGaugeSignedDeltas(t *testing.T) {
+	g := NewStripedGauge(4)
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				g.Add(3)
+				g.Add(-2)
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := g.Value(), float64(workers*per); got != want {
+		t.Fatalf("striped gauge = %g, want %g", got, want)
+	}
+}
+
+func TestStripeCountRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{1, 1}, {2, 2}, {3, 4}, {5, 8}, {8, 8}, {64, 64}, {100, 64},
+	} {
+		sc := NewStripedCounter(tc.in)
+		if len(sc.cells) != tc.want {
+			t.Errorf("stripes(%d) = %d cells, want %d", tc.in, len(sc.cells), tc.want)
+		}
+	}
+	if def := NewStripedCounter(0); len(def.cells) == 0 {
+		t.Error("default stripe count must be positive")
+	}
+}
+
+// The sharded log-histogram must report exactly the distribution an
+// unsharded histogram would: same count, same sum, same quantiles
+// (shards share the bucket layout, and Merged unions the buckets).
+func TestShardedLogHistogramMatchesPlain(t *testing.T) {
+	sh := NewShardedLogHistogram(8)
+	var plain LogHistogram
+	for i := 1; i <= 10000; i++ {
+		v := float64(i) * 1e-5
+		sh.Observe(v)
+		plain.Observe(v)
+	}
+	if sh.Count() != plain.Count() {
+		t.Fatalf("count %d != plain %d", sh.Count(), plain.Count())
+	}
+	m := sh.Merged()
+	// Shard sums accumulate in a different order, so allow float
+	// rounding in the last ulps; bucket counts (and therefore
+	// quantiles) are integers and must match exactly.
+	if got, want := m.Sum(), plain.Sum(); relErr(got, want) > 1e-12 {
+		t.Fatalf("sum %g != plain %g", got, want)
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if got, want := sh.Quantile(q), plain.Quantile(q); got != want {
+			t.Errorf("q%.2f = %g, want %g", q, got, want)
+		}
+	}
+	if got, want := sh.Mean(), plain.Mean(); relErr(got, want) > 1e-12 {
+		t.Errorf("mean %g != %g", got, want)
+	}
+}
+
+func relErr(a, b float64) float64 {
+	if b == 0 {
+		if a == 0 {
+			return 0
+		}
+		return 1
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if b < 0 {
+		b = -b
+	}
+	return d / b
+}
+
+// Nil receivers no-op like every other obs metric, and a nil registry
+// returns nil handles.
+func TestStripedNilSafety(t *testing.T) {
+	var c *StripedCounter
+	var g *StripedGauge
+	var h *ShardedLogHistogram
+	c.Add(1)
+	c.Inc()
+	g.Add(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Error("nil striped metrics must read zero")
+	}
+	if h.Merged() == nil {
+		t.Error("nil ShardedLogHistogram.Merged() must return an empty histogram")
+	}
+	var r *Registry
+	if r.StripedCounter("x", "") != nil || r.StripedGauge("y", "") != nil || r.ShardedLogHistogram("z", "") != nil {
+		t.Error("nil registry must hand out nil striped handles")
+	}
+}
+
+// Registered striped metrics export through the plain Prometheus and
+// JSON surfaces: counter/gauge TYPE lines, merged histogram series.
+func TestStripedRegistryExport(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.StripedCounter("striped_total", "striped counter")
+	g := reg.StripedGauge("striped_now", "striped gauge")
+	h := reg.ShardedLogHistogram("striped_seconds", "sharded histogram")
+	c.Add(41)
+	c.Inc()
+	g.Add(7)
+	g.Add(-2)
+	h.Observe(0.25)
+	h.Observe(0.5)
+
+	// Re-registration returns the same handles; mismatched kinds panic
+	// exactly like plain metrics (checked via the distinct kind).
+	if reg.StripedCounter("striped_total", "") != c {
+		t.Error("re-registration returned a different striped counter")
+	}
+
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE striped_total counter",
+		"striped_total 42",
+		"# TYPE striped_now gauge",
+		"striped_now 5",
+		"# TYPE striped_seconds histogram",
+		"striped_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus export missing %q:\n%s", want, out)
+		}
+	}
+
+	snap := reg.Snapshot()
+	if v, ok := snap["striped_total"].(float64); !ok || v != 42 {
+		t.Errorf("snapshot striped_total = %v, want 42", snap["striped_total"])
+	}
+	if v, ok := snap["striped_now"].(float64); !ok || v != 5 {
+		t.Errorf("snapshot striped_now = %v, want 5", snap["striped_now"])
+	}
+	hv, ok := snap["striped_seconds"].(map[string]any)
+	if !ok || hv["count"].(uint64) != 2 {
+		t.Errorf("snapshot striped_seconds = %v", snap["striped_seconds"])
+	}
+}

@@ -11,14 +11,17 @@ import (
 
 // API:
 //
-//	POST /v1/jobs    — submit a job (JobRequest), blocks until it runs
-//	                   or its deadline expires; 200 JobResult,
-//	                   400 invalid, 429/503 + Retry-After backpressure,
-//	                   504 deadline
-//	GET  /v1/stats   — Stats snapshot (JSON, cluster totals)
-//	GET  /v1/shards  — RouterStats snapshot (JSON): routing policy,
-//	                   per-shard counters, cluster energy roll-up
-//	GET  /healthz    — 200 "ok", 503 "draining" + Retry-After
+//	POST /v1/jobs       — submit a job (JobRequest), blocks until it
+//	                      runs or its deadline expires; 200 JobResult,
+//	                      400 invalid, 429/503 + Retry-After
+//	                      backpressure, 504 deadline
+//	POST /v1/jobs:batch — submit N jobs in one request (BatchRequest),
+//	                      one admission pass, blocks until every
+//	                      admitted job resolves; per-job status array
+//	GET  /v1/stats      — Stats snapshot (JSON, cluster totals)
+//	GET  /v1/shards     — RouterStats snapshot (JSON): routing policy,
+//	                      per-shard counters, cluster energy roll-up
+//	GET  /healthz       — 200 "ok", 503 "draining" + Retry-After
 //
 // When the server has a registry, the PR-1 observability endpoints
 // (/metrics, /debug/vars, /debug/pprof) are mounted on the same mux.
@@ -29,10 +32,39 @@ type errorBody struct {
 	RetryAfter int    `json:"retry_after_s,omitempty"`
 }
 
+// BatchRequest is the wire format of POST /v1/jobs:batch.
+type BatchRequest struct {
+	Jobs []JobRequest `json:"jobs"`
+}
+
+// BatchItem is one job's slice of the batch response: the same status
+// and body the job would have received from POST /v1/jobs.
+type BatchItem struct {
+	Status     int        `json:"status"`
+	Result     *JobResult `json:"result,omitempty"` // 200, and 504 partials
+	Error      string     `json:"error,omitempty"`
+	RetryAfter int        `json:"retry_after_s,omitempty"`
+}
+
+// BatchResponse is the POST /v1/jobs:batch body, jobs in request
+// order.
+type BatchResponse struct {
+	Jobs []BatchItem `json:"jobs"`
+}
+
+const (
+	// maxBatchBodyBytes bounds a batch submission's body; roomier than
+	// the single-job bound since it carries up to maxBatchJobs requests.
+	maxBatchBodyBytes = 1 << 20
+	// maxBatchJobs bounds the jobs one batch request may carry.
+	maxBatchJobs = 256
+)
+
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/jobs", s.handleJobs)
+	mux.HandleFunc("/v1/jobs:batch", s.handleJobsBatch)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v1/shards", s.handleShards)
 	mux.HandleFunc("/healthz", s.handleHealthz)
@@ -55,11 +87,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 // retryAfterSeconds rounds the configured hint up to whole seconds, as
 // the Retry-After header requires.
 func (s *Server) retryAfterSeconds() int {
-	sec := int((s.cfg.RetryAfter + time.Second - 1) / time.Second)
-	if sec < 1 {
-		sec = 1
-	}
-	return sec
+	return s.static.retryAfterSecs
 }
 
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
@@ -68,31 +96,36 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST only"})
 		return
 	}
-	var req JobRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
+	in := getIngest()
+	defer putIngest(in)
+	if err := in.readBody(r.Body); err != nil {
 		s.so.rejected.With("invalid").Inc()
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: "decoding job: " + err.Error()})
+		s.writeError(w, http.StatusBadRequest, "decoding job: "+err.Error(), 0)
 		return
 	}
-	j, err := s.newJob(req)
+	if err := s.decodeJob(in); err != nil {
+		s.so.rejected.With("invalid").Inc()
+		s.writeError(w, http.StatusBadRequest, "decoding job: "+err.Error(), 0)
+		return
+	}
+	j, err := s.newJob(in.req)
 	if err != nil {
 		s.so.rejected.With("invalid").Inc()
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		s.writeError(w, http.StatusBadRequest, err.Error(), 0)
 		return
 	}
 	if rej := s.route(j); rej != nil {
 		s.noteRejection(rej)
+		j.release()
 		if rej.Status == http.StatusGatewayTimeout {
 			// Admission fast-fail: the deadline had already passed, so
 			// there is no point hinting a retry of the same request.
-			writeJSON(w, rej.Status, errorBody{Error: rej.Msg})
+			s.writeError(w, rej.Status, rej.Msg, 0)
 			return
 		}
-		ra := s.retryAfterSeconds()
-		w.Header().Set("Retry-After", fmt.Sprintf("%d", ra))
-		writeJSON(w, rej.Status, errorBody{Error: rej.Msg, RetryAfter: ra})
+		ra := s.static.retryAfterSecs
+		w.Header().Set("Retry-After", s.static.retryAfterStr)
+		s.writeError(w, rej.Status, rej.Msg, ra)
 		return
 	}
 
@@ -112,25 +145,22 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	}
 	select {
 	case o := <-j.done:
-		if o.status == 200 {
-			writeJSON(w, 200, o.res)
-			return
+		switch {
+		case o.status == 200:
+			writeResult(w, 200, o.res)
+		case o.res != nil:
+			s.writePartial(w, o.status, o.err, o.res)
+		default:
+			s.writeError(w, o.status, o.err, 0)
 		}
-		body := errorBody{Error: o.err}
-		if o.res != nil {
-			writeJSON(w, o.status, struct {
-				errorBody
-				Partial *JobResult `json:"partial,omitempty"`
-			}{body, o.res})
-			return
-		}
-		writeJSON(w, o.status, body)
+		j.release()
 	case <-deadlineC:
 		// Respond now; the batcher still owns the job and will count
 		// the timeout exactly once when it processes (and drops) it.
 		j.cancelled.Store(true)
 		s.so.cancelled.With("deadline").Inc()
-		writeJSON(w, http.StatusGatewayTimeout, errorBody{Error: "deadline expired"})
+		s.writeError(w, http.StatusGatewayTimeout, "deadline expired", 0)
+		j.release()
 	case <-r.Context().Done():
 		// Client hung up. Before this counter existed the disconnect
 		// was invisible: `cancelled` was set and nothing else moved, so
@@ -138,6 +168,116 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		// deadline drops in the eewa_serve_* families.
 		j.cancelled.Store(true)
 		s.so.cancelled.With("disconnect").Inc()
+		j.release()
+	}
+}
+
+// handleJobsBatch admits N jobs in one pass and waits for all of them.
+// Each item resolves to the same status and body shape the single-job
+// endpoint would have produced; the overall HTTP status is 200 only if
+// every job completed, otherwise the severest admission signal (429
+// for backpressure, then 504, then 400). Batch jobs have no per-job
+// wall timer — queued expiry is still enforced at batch formation.
+func (s *Server) handleJobsBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST only"})
+		return
+	}
+	var breq BatchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&breq); err != nil {
+		s.so.rejected.With("invalid").Inc()
+		s.writeError(w, http.StatusBadRequest, "decoding batch: "+err.Error(), 0)
+		return
+	}
+	if len(breq.Jobs) == 0 {
+		s.so.rejected.With("invalid").Inc()
+		s.writeError(w, http.StatusBadRequest, "batch has no jobs", 0)
+		return
+	}
+	if len(breq.Jobs) > maxBatchJobs {
+		s.so.rejected.With("invalid").Inc()
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("batch of %d jobs exceeds the limit %d", len(breq.Jobs), maxBatchJobs), 0)
+		return
+	}
+
+	// One admission pass: every job validates and routes before any is
+	// waited on, so a batch occupies its queue slots atomically enough
+	// to be batched together by the next flush.
+	items := make([]BatchItem, len(breq.Jobs))
+	jobs := make([]*job, len(breq.Jobs))
+	for i := range breq.Jobs {
+		j, err := s.newJob(breq.Jobs[i])
+		if err != nil {
+			s.so.rejected.With("invalid").Inc()
+			items[i] = BatchItem{Status: http.StatusBadRequest, Error: err.Error()}
+			continue
+		}
+		if rej := s.route(j); rej != nil {
+			s.noteRejection(rej)
+			j.release()
+			it := BatchItem{Status: rej.Status, Error: rej.Msg}
+			if rej.Status != http.StatusGatewayTimeout {
+				it.RetryAfter = s.static.retryAfterSecs
+			}
+			items[i] = it
+			continue
+		}
+		jobs[i] = j
+	}
+
+	for i, j := range jobs {
+		if j == nil {
+			continue
+		}
+		select {
+		case o := <-j.done:
+			items[i] = BatchItem{Status: o.status, Result: o.res, Error: o.err}
+		case <-r.Context().Done():
+			// Client hung up: cancel this job and everything still
+			// pending, then bail without a response.
+			for _, jj := range jobs[i:] {
+				if jj == nil {
+					continue
+				}
+				jj.cancelled.Store(true)
+				s.so.cancelled.With("disconnect").Inc()
+				jj.release()
+			}
+			return
+		}
+	}
+
+	overall := http.StatusOK
+	var rejected, expired, invalid bool
+	for i := range items {
+		switch items[i].Status {
+		case http.StatusOK:
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			rejected = true
+		case http.StatusGatewayTimeout:
+			expired = true
+		default:
+			invalid = true
+		}
+	}
+	switch {
+	case rejected:
+		overall = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", s.static.retryAfterStr)
+	case expired:
+		overall = http.StatusGatewayTimeout
+	case invalid:
+		overall = http.StatusBadRequest
+	}
+	writeJSON(w, overall, BatchResponse{Jobs: items})
+	for _, j := range jobs {
+		if j != nil {
+			j.release()
+		}
 	}
 }
 
@@ -160,14 +300,11 @@ func (s *Server) handleShards(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	draining := s.draining
-	s.mu.Unlock()
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	if draining {
+	if s.draining.Load() {
 		// Same back-off hint the 429/503 job path sends, so probes and
 		// clients behave uniformly during drain.
-		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfterSeconds()))
+		w.Header().Set("Retry-After", s.static.retryAfterStr)
 		w.WriteHeader(http.StatusServiceUnavailable)
 		_, _ = w.Write([]byte("draining\n"))
 		return

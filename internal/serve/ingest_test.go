@@ -1,0 +1,296 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// refDecode is the pre-pooling decode path, verbatim: MaxBytesReader
+// wrapping the body, strict stdlib decoding. The fast path must agree
+// with it on every byte of behavior — acceptance, the decoded request,
+// and the error text.
+func refDecode(body []byte) (JobRequest, error) {
+	w := httptest.NewRecorder()
+	var req JobRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, io.NopCloser(bytes.NewReader(body)), maxBodyBytes))
+	dec.DisallowUnknownFields()
+	err := dec.Decode(&req)
+	return req, err
+}
+
+func TestDecodeJobMatchesStdlib(t *testing.T) {
+	s, _ := testServer(t, nil)
+	t.Cleanup(func() { drain(t, s) })
+
+	cases := []string{
+		`{"func":"sha1"}`,
+		`{"tenant":"acme","func":"md5","size_bytes":512,"count":3,"seed":42,"deadline_ms":100,"work_hint_s":0.25}`,
+		`{"func":"lzw","deadline_at_ms":1754640000000}`,
+		`{"func":"sha1","seed":18446744073709551615}`,
+		`{"func":"sha1","work_hint_s":0.1}`,
+		`{"func":"sha1","work_hint_s":123.456}`,
+		`{"func":"sha1","work_hint_s":3}`,
+		`{"func":"sha1","work_hint_s":1e-3}`,
+		`{"func":"sha1","work_hint_s":2.5e-7}`,
+		`{"func":"sha1","work_hint_s":-0.5}`,
+		`{"func":"sha1","deadline_ms":-7}`,
+		`{"tenant":"","func":"bwc","count":0}`,
+		`  {  "func" : "dmc" ,  "count" : 2 }  `,
+		`{"func":null,"tenant":null,"count":null}`,
+		`{}`,
+		// Bail-to-stdlib territory: the outcomes (and error strings)
+		// still have to match the reference path exactly.
+		`{"func":"sha1","bogus":1}`,
+		`{"tenant":"a\"b","func":"sha1"}`,
+		`{"tenant":"héllo","func":"sha1"}`,
+		`{"size_bytes":1.5}`,
+		`{"count":2e1}`,
+		`{"seed":18446744073709551616}`,
+		`{"seed":-1}`,
+		`{"count":01}`,
+		`{"func":"sha1",}`,
+		`{"func" "sha1"}`,
+		`{"func":}`,
+		``,
+		`[]`,
+		`42`,
+		`null`,
+		`{"func":"sha1"} trailing garbage`,
+	}
+	// Oversize bodies: a valid value completed inside the window is
+	// accepted either way; a value still open past the limit is the
+	// MaxBytesReader error.
+	cases = append(cases,
+		`{"func":"sha1"}`+strings.Repeat(" ", maxBodyBytes),
+		`{"tenant":"`+strings.Repeat("x", maxBodyBytes)+`","func":"sha1"}`,
+	)
+
+	for _, body := range cases {
+		name := body
+		if len(name) > 60 {
+			name = name[:60] + "…"
+		}
+		wantReq, wantErr := refDecode([]byte(body))
+
+		in := getIngest()
+		if err := in.readBody(bytes.NewReader([]byte(body))); err != nil {
+			putIngest(in)
+			if wantErr == nil || err.Error() != wantErr.Error() {
+				t.Errorf("%q: readBody err %v, want %v", name, err, wantErr)
+			}
+			continue
+		}
+		gotErr := s.decodeJob(in)
+		gotReq := in.req
+		putIngest(in)
+
+		switch {
+		case (gotErr == nil) != (wantErr == nil):
+			t.Errorf("%q: err %v, want %v", name, gotErr, wantErr)
+		case gotErr != nil && gotErr.Error() != wantErr.Error():
+			t.Errorf("%q: err %q, want %q", name, gotErr, wantErr)
+		case gotErr == nil && gotReq != wantReq:
+			t.Errorf("%q: req %+v, want %+v", name, gotReq, wantReq)
+		}
+	}
+}
+
+// The steady-state decode path must be allocation-free: pooled buffer,
+// pooled request struct, interned tenant and func strings.
+func TestDecodeJobZeroAllocSteadyState(t *testing.T) {
+	s, _ := testServer(t, nil)
+	t.Cleanup(func() { drain(t, s) })
+
+	body := []byte(`{"tenant":"acme","func":"sha1","size_bytes":256,"count":4,"seed":9,"work_hint_s":0.5}`)
+	rd := bytes.NewReader(body)
+	in := getIngest()
+	defer putIngest(in)
+
+	// Warm the pools and the tenant intern table.
+	if err := in.readBody(rd); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.decodeJob(in); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		rd.Reset(body)
+		if err := in.readBody(rd); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.decodeJob(in); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state decode allocates %.1f times per request, want 0", allocs)
+	}
+}
+
+// refEncode renders v through writeJSON — the legacy encoder whose
+// bytes the replay suite pins.
+func refEncode(status int, v any) *httptest.ResponseRecorder {
+	w := httptest.NewRecorder()
+	writeJSON(w, status, v)
+	return w
+}
+
+func checkSame(t *testing.T, name string, got, want *httptest.ResponseRecorder) {
+	t.Helper()
+	if got.Code != want.Code {
+		t.Errorf("%s: status %d, want %d", name, got.Code, want.Code)
+	}
+	if g, w := got.Header().Get("Content-Type"), want.Header().Get("Content-Type"); g != w {
+		t.Errorf("%s: content-type %q, want %q", name, g, w)
+	}
+	if !bytes.Equal(got.Body.Bytes(), want.Body.Bytes()) {
+		t.Errorf("%s: body\n%q\nwant\n%q", name, got.Body.Bytes(), want.Body.Bytes())
+	}
+}
+
+func TestWriteResultMatchesStdlib(t *testing.T) {
+	shard := 2
+	floats := []float64{
+		0, 1, 0.1, 0.25, 123.456789, 1e-6, 9.9e-7, 1e-7, 2.5e-7,
+		1e20, 9.99e20, 1e21, 3.7e22, 5e-324, math.MaxFloat64, 0.0005100220,
+	}
+	for _, f := range floats {
+		res := &JobResult{
+			Job: 12345, Tenant: "acme", Func: "sha1", Tasks: 8, TasksRun: 7,
+			Batch: 42, QueueMS: f, BatchMS: f * 3, EnergyJ: f / 7, EnergyAttrJ: f,
+			Steals: 3, Policy: "eewa",
+		}
+		got := httptest.NewRecorder()
+		writeResult(got, 200, res)
+		checkSame(t, "result", got, refEncode(200, res))
+
+		res.Shard = &shard
+		got = httptest.NewRecorder()
+		writeResult(got, 200, res)
+		checkSame(t, "result+shard", got, refEncode(200, res))
+	}
+
+	// Outside the fast subset (string needing escapes) the fallback is
+	// writeJSON itself, so equality is trivial — but exercise the seam.
+	res := &JobResult{Job: 1, Tenant: "a<b>&c", Func: "sha1", Policy: "eewa"}
+	got := httptest.NewRecorder()
+	writeResult(got, 200, res)
+	checkSame(t, "result-fallback", got, refEncode(200, res))
+}
+
+func TestWriteErrorAndPartialMatchStdlib(t *testing.T) {
+	s, _ := testServer(t, nil)
+	t.Cleanup(func() { drain(t, s) })
+
+	// The drain 503s are pre-rendered with the server's own Retry-After
+	// (the only value production callers ever pass).
+	ra := s.static.retryAfterSecs
+	msgs := []struct {
+		status, retry int
+		msg           string
+	}{
+		{503, ra, "server is draining, not admitting new jobs"},
+		{503, ra, "every shard is draining, not admitting new jobs"},
+		{504, 0, "deadline expired"},
+		{504, 0, "deadline already expired at admission"},
+		{504, 0, "deadline expired while queued"},
+		{429, 2, `tenant "acme" queue full (130/128 tasks)`},
+		{429, 2, "in-flight budget full (513/512 tasks)"},
+		{400, 0, "size_bytes 2000000 outside (0, 1048576]"},
+		{400, 0, "weird message with \"quotes\" and <html> & unicode é"},
+	}
+	for _, m := range msgs {
+		got := httptest.NewRecorder()
+		s.writeError(got, m.status, m.msg, m.retry)
+		checkSame(t, "error", got, refEncode(m.status, errorBody{Error: m.msg, RetryAfter: m.retry}))
+	}
+
+	res := &JobResult{Job: 9, Tenant: "beta", Func: "md5", Tasks: 4, TasksRun: 2,
+		Batch: 3, QueueMS: 1.25, BatchMS: 0.5, EnergyJ: 0.125, EnergyAttrJ: 0.0625, Policy: "eewa"}
+	got := httptest.NewRecorder()
+	s.writePartial(got, 504, "deadline expired mid-batch", res)
+	checkSame(t, "partial", got, refEncode(504, struct {
+		errorBody
+		Partial *JobResult `json:"partial,omitempty"`
+	}{errorBody{Error: "deadline expired mid-batch"}, res}))
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	s, ts := testServer(t, nil)
+
+	post := func(body string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/jobs:batch", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp, out
+	}
+
+	// Happy path: every job completes, one response per job, in order.
+	resp, body := post(`{"jobs":[
+		{"tenant":"a","func":"sha1","count":2,"size_bytes":256},
+		{"tenant":"b","func":"md5","count":1,"size_bytes":256}]}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("batch status %d: %s", resp.StatusCode, body)
+	}
+	var bres BatchResponse
+	if err := json.Unmarshal(body, &bres); err != nil {
+		t.Fatal(err)
+	}
+	if len(bres.Jobs) != 2 {
+		t.Fatalf("batch items %d, want 2", len(bres.Jobs))
+	}
+	for i, it := range bres.Jobs {
+		if it.Status != 200 || it.Result == nil || it.Result.TasksRun != 2-i {
+			t.Errorf("item %d = %+v, want 200 with %d tasks run", i, it, 2-i)
+		}
+	}
+	if bres.Jobs[0].Result.Tenant != "a" || bres.Jobs[1].Result.Tenant != "b" {
+		t.Errorf("batch items out of request order: %+v", bres.Jobs)
+	}
+
+	// A mixed batch: invalid jobs get per-item 400s, the rest still
+	// run; overall status reflects the worst admission signal.
+	resp, body = post(`{"jobs":[
+		{"func":"sha1","count":1,"size_bytes":256},
+		{"func":"nope","count":1,"size_bytes":256}]}`)
+	if resp.StatusCode != 400 {
+		t.Fatalf("mixed batch status %d: %s", resp.StatusCode, body)
+	}
+	bres = BatchResponse{}
+	if err := json.Unmarshal(body, &bres); err != nil {
+		t.Fatal(err)
+	}
+	if bres.Jobs[0].Status != 200 || bres.Jobs[1].Status != 400 ||
+		!strings.Contains(bres.Jobs[1].Error, `unknown func "nope"`) {
+		t.Errorf("mixed batch items %+v", bres.Jobs)
+	}
+
+	// Shape errors.
+	if resp, _ := post(`{"jobs":[]}`); resp.StatusCode != 400 {
+		t.Errorf("empty batch status %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := post(`{"bogus":1}`); resp.StatusCode != 400 {
+		t.Errorf("unknown-field batch status %d, want 400", resp.StatusCode)
+	}
+	r, err := http.Get(ts.URL + "/v1/jobs:batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, r.Body)
+	r.Body.Close()
+	if r.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET batch status %d, want 405", r.StatusCode)
+	}
+
+	drain(t, s)
+}

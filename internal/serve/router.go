@@ -152,10 +152,7 @@ func (e errShardRangeT) Error() string {
 // preferred shard's rejection is returned; when every shard is
 // draining, the whole cluster is.
 func (s *Server) route(j *job) *Rejection {
-	s.mu.Lock()
-	draining := s.draining
-	s.mu.Unlock()
-	if draining {
+	if s.draining.Load() {
 		return &Rejection{Status: 503, Reason: "draining",
 			Msg: "server is draining, not admitting new jobs"}
 	}
@@ -167,6 +164,17 @@ func (s *Server) route(j *job) *Rejection {
 		// a shard queue. DESIGN.md §9 documents the semantics change.
 		return &Rejection{Status: 504, Reason: "expired",
 			Msg: "deadline already expired at admission"}
+	}
+	if len(s.shards) == 1 {
+		// Single-shard fast path: no candidate order to build, no view
+		// snapshot — the admission outcome (and every message) is
+		// identical to the general path below with one healthy shard.
+		sh := s.shards[0]
+		if sh.draining.Load() {
+			return &Rejection{Status: 503, Reason: "draining",
+				Msg: "every shard is draining, not admitting new jobs"}
+		}
+		return sh.admit(j)
 	}
 	order := s.shardOrder(j.req.Func, len(j.tasks))
 	if len(order) == 0 {

@@ -167,9 +167,7 @@ func setPlan(sh *shard, classes ...string) {
 }
 
 func setInflight(sh *shard, n int) {
-	sh.mu.Lock()
-	sh.inflight = n
-	sh.mu.Unlock()
+	sh.inflight.Store(int64(n))
 }
 
 func TestShardOrderClassAware(t *testing.T) {
@@ -191,17 +189,13 @@ func TestShardOrderClassAware(t *testing.T) {
 	setInflight(s.shards[1], 0)
 
 	// A draining shard leaves every order.
-	s.shards[2].mu.Lock()
-	s.shards[2].draining = true
-	s.shards[2].mu.Unlock()
+	s.shards[2].draining.Store(true)
 	for _, idx := range s.shardOrder("sha1", 1) {
 		if idx == 2 {
 			t.Errorf("draining shard 2 still in order %v", s.shardOrder("sha1", 1))
 		}
 	}
-	s.shards[2].mu.Lock()
-	s.shards[2].draining = false
-	s.shards[2].mu.Unlock()
+	s.shards[2].draining.Store(false)
 }
 
 // A class no shard's plan knows goes to the fastest ladder — the

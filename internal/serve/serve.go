@@ -50,6 +50,7 @@ package serve
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -117,6 +118,14 @@ type Config struct {
 	// MaxInFlight is the per-shard bound on admitted-but-unfinished
 	// tasks across all tenants (default 512).
 	MaxInFlight int
+	// AdmissionStripes is the number of independently locked admission
+	// stripes per shard (default GOMAXPROCS rounded up to a power of
+	// two, capped at 16). Tenants hash onto stripes, so concurrent
+	// submitters of different tenants admit without sharing a lock; the
+	// batcher merges stripes by admission sequence number, so batch
+	// composition is identical to a single global FIFO. 1 restores the
+	// single-lock layout.
+	AdmissionStripes int
 	// RetryAfter is the hint returned with 429/503 responses (default
 	// 1s, rounded up to whole seconds on the wire).
 	RetryAfter time.Duration
@@ -174,6 +183,14 @@ func (c *Config) setDefaults() {
 	if c.MaxInFlight <= 0 {
 		c.MaxInFlight = 512
 	}
+	if c.AdmissionStripes <= 0 {
+		n := runtime.GOMAXPROCS(0)
+		stripes := 1
+		for stripes < n && stripes < 16 {
+			stripes <<= 1
+		}
+		c.AdmissionStripes = stripes
+	}
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
 	}
@@ -204,16 +221,19 @@ type Server struct {
 	cfg    Config
 	shards []*shard
 	so     *serveObs
-	ga     *gaugeAgg
 	ro     *routerObs // nil with one shard: no router-only families
 
 	mu       sync.Mutex
-	draining bool   // cluster-wide drain (Drain); shards drain individually too
 	rejected uint64 // jobs refused at admission (router-level counter)
 	fastFail uint64 // jobs 504-fast-failed at admission (deadline already past)
 
-	jobSeq uint64
-	rr     atomic.Uint64 // round-robin cursor for RouteRR
+	draining atomic.Bool // cluster-wide drain (Drain); shards drain individually too
+
+	jobSeq  uint64
+	rr      atomic.Uint64 // round-robin cursor for RouteRR
+	jobPool sync.Pool     // *job — pooled submissions (see job.go)
+	tenants tenantTable   // interned tenant strings for the fast decoder
+	static  staticBodies  // precomputed canonical error responses (encode.go)
 }
 
 // New validates cfg, builds the shards and starts their batchers.
@@ -234,7 +254,7 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{cfg: cfg}
 	so := newServeObs(cfg.Obs)
 	s.so = &so
-	s.ga = newGaugeAgg(s.so)
+	s.static.init(cfg.RetryAfter)
 	if cfg.Shards > 1 {
 		s.ro = newRouterObs(cfg.Obs)
 	}
@@ -271,7 +291,8 @@ func New(cfg Config) (*Server, error) {
 			reg:         cfg.Obs,
 			clock:       s.now,
 			manualFlush: cfg.ManualFlush,
-		}, s.so, s.ga, s.ro)
+			stripes:     cfg.AdmissionStripes,
+		}, s.so, s.ro)
 		if err != nil {
 			return nil, err
 		}
@@ -312,7 +333,7 @@ func (s *Server) Stats() Stats {
 	st := Stats{
 		Policy:   s.cfg.Policy,
 		Workers:  s.cfg.Workers,
-		Draining: s.draining,
+		Draining: s.draining.Load(),
 		Rejected: s.rejected,
 		// Admission fast-fails (deadline already past, 504 before
 		// queuing) are timeouts that never reached a shard.
@@ -361,10 +382,21 @@ type Pending struct{ j *job }
 
 // Wait returns the job's final HTTP-equivalent status, the result body
 // (non-nil on 200 and on mid-batch 504 partials), and the error
-// message for non-200 outcomes.
+// message for non-200 outcomes. The result is copied out of the pooled
+// job, which Wait releases — call it exactly once per Pending.
 func (p *Pending) Wait() (status int, res *JobResult, errMsg string) {
 	o := <-p.j.done
-	return o.status, o.res, o.err
+	if o.res != nil {
+		cp := *o.res
+		if o.res.Shard != nil {
+			idx := *o.res.Shard
+			cp.Shard = &idx
+		}
+		res = &cp
+	}
+	status, errMsg = o.status, o.err
+	p.j.release()
+	return status, res, errMsg
 }
 
 // Submit validates, admits and routes one job through exactly the
@@ -381,6 +413,7 @@ func (s *Server) Submit(req JobRequest) (*Pending, *Rejection) {
 	}
 	if rej := s.route(j); rej != nil {
 		s.noteRejection(rej)
+		j.release()
 		return nil, rej
 	}
 	return &Pending{j: j}, nil
@@ -451,9 +484,7 @@ func latencySummaryFrom(e2e, queue *obs.LogHistogram) LatencySummary {
 // wait — on expiry the batchers keep draining in the background, but
 // Drain returns the context error.
 func (s *Server) Drain(ctx context.Context) error {
-	s.mu.Lock()
-	s.draining = true
-	s.mu.Unlock()
+	s.draining.Store(true)
 	if len(s.shards) == 1 {
 		return s.shards[0].drain(ctx)
 	}

@@ -3,8 +3,10 @@ package serve
 import (
 	"context"
 	"fmt"
+	"slices"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/machine"
@@ -39,6 +41,35 @@ type shardConfig struct {
 	// manualFlush skips the batcher goroutine: batches form only via
 	// flushAll, on the caller's goroutine (Server.Flush / drain).
 	manualFlush bool
+	// stripes is the admission-stripe count (Config.AdmissionStripes),
+	// rounded up to a power of two.
+	stripes int
+}
+
+// tenantEntry is one tenant's admission state on one stripe: the
+// queued-task count the depth bound checks, plus this tenant's metric
+// handles, resolved once so the admission hot path never walks the
+// labeled-family maps.
+type tenantEntry struct {
+	queued   int
+	qd       *obs.Gauge   // eewa_serve_queue_depth child (cluster total, delta-maintained)
+	admitted *obs.Counter // eewa_serve_admitted_tenant_total child
+}
+
+// admitStripe is an independently locked slice of a shard's admission
+// queue. Tenants hash onto stripes, so a tenant's whole queue state
+// lives on one stripe and the per-tenant depth bound stays exact;
+// concurrent submitters of different tenants admit without sharing a
+// lock. FIFO order across stripes is preserved by the per-shard
+// admission sequence number stamped under the stripe lock — the
+// batcher merges stripes by minimum sequence, reproducing the global
+// arrival order bit for bit.
+type admitStripe struct {
+	mu      sync.Mutex
+	pending []*job
+	head    int // pending[head:] is the live queue; reset when drained
+	tenants map[string]*tenantEntry
+	_       [24]byte // keep neighboring stripe headers off one line
 }
 
 // shard is the unit the routing tier places work on: one live runtime
@@ -51,16 +82,27 @@ type shard struct {
 	cfg shardConfig
 	rt  *rt.Runtime
 	so  *serveObs // shared across the cluster: families aggregate
-	ga  *gaugeAgg // shared: cluster-total queue-depth/in-flight gauges
 	ro  *routerObs
 
-	mu       sync.Mutex
-	pending  []*job
-	queued   map[string]int // tenant → queued task count
-	queuedN  int            // total queued tasks
-	inflight int            // queued + running tasks
-	draining bool
-	stats    Stats
+	stripes []admitStripe
+	smask   uint64
+	seq     atomic.Uint64 // admission order across stripes (merge key)
+
+	// Hot counters, all atomic so admission and the batcher never share
+	// a lock with the stats endpoints.
+	queuedN   atomic.Int64 // queued (admitted, unbatched) tasks
+	inflight  atomic.Int64 // queued + running tasks
+	draining  atomic.Bool
+	admitted  atomic.Uint64
+	completed atomic.Uint64
+	timeouts  atomic.Uint64
+	batches   atomic.Uint64
+	tasksRun  atomic.Uint64
+	tasksCan  atomic.Uint64
+
+	// mu guards the cold batch-boundary state only: the plan-class set
+	// and the energy roll-up, both rewritten once per batch.
+	mu sync.Mutex
 
 	// planClasses are the task classes profiled in the shard's last
 	// batch — exactly the classes its current plan allocated c-groups
@@ -92,15 +134,43 @@ type shard struct {
 	// once the batch's outcomes have been delivered.
 	arena rt.TaskArena
 
+	// Batcher-goroutine scratch, reused across flushes so a steady-state
+	// flush allocates nothing: the batch and expired job lists, the
+	// per-class executed-task tally, and the span-histogram handles
+	// resolved per (class, tenant).
+	batchBuf   []*job
+	expiredBuf []*job
+	classRan   map[string]int
+	spans      map[spanKey]*spanSet
+
 	// testBatchEnd, when non-nil, observes every batch's stats after the
 	// shard's own bookkeeping — the decision-parity tests record plans
 	// through it.
 	testBatchEnd func(batch int, bs rt.BatchStats)
 }
 
+// spanKey / spanSet cache the labeled span-histogram children per
+// (class, tenant). Only the batcher goroutine touches the map, so it
+// needs no lock; each With call it saves is a family-map lookup.
+type spanKey struct{ class, tenant string }
+
+type spanSet struct {
+	queue, batch, exec, e2e *obs.LogHistogram
+	energy                  *obs.Counter // eewa_serve_energy_tenant_joules_total child
+}
+
+// pow2 rounds n up to a power of two (minimum 1).
+func pow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
 // newShard builds the shard's policy and runtime and starts its
 // batcher goroutine.
-func newShard(cfg shardConfig, so *serveObs, ga *gaugeAgg, ro *routerObs) (*shard, error) {
+func newShard(cfg shardConfig, so *serveObs, ro *routerObs) (*shard, error) {
 	mc := cfg.mc
 	mc.Cores = cfg.workers
 	if err := mc.Validate(); err != nil {
@@ -122,15 +192,21 @@ func newShard(cfg shardConfig, so *serveObs, ga *gaugeAgg, ro *routerObs) (*shar
 		}
 		pol.(*policy.EEWA).Offline = cfg.offline
 	}
+	stripes := pow2(max(cfg.stripes, 1))
 	sh := &shard{
 		cfg:         cfg,
 		so:          so,
-		ga:          ga,
 		ro:          ro,
-		queued:      map[string]int{},
+		stripes:     make([]admitStripe, stripes),
+		smask:       uint64(stripes - 1),
 		planClasses: map[string]struct{}{},
+		classRan:    map[string]int{},
+		spans:       map[spanKey]*spanSet{},
 		wake:        make(chan struct{}, 1),
 		drained:     make(chan struct{}),
+	}
+	for i := range sh.stripes {
+		sh.stripes[i].tenants = map[string]*tenantEntry{}
 	}
 	rcfg := rt.Config{
 		Workers:    cfg.workers,
@@ -193,48 +269,96 @@ type shardView struct {
 
 func (sh *shard) view(class string) shardView {
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	_, knows := sh.planClasses[class]
+	sh.mu.Unlock()
 	return shardView{
 		idx:      sh.cfg.index,
-		draining: sh.draining,
-		headroom: sh.cfg.maxInFlight - sh.inflight,
+		draining: sh.draining.Load(),
+		headroom: sh.cfg.maxInFlight - int(sh.inflight.Load()),
 		knows:    knows,
 		fastest:  sh.cfg.mc.Freqs[0],
 	}
 }
 
+// stripeFor hashes a tenant onto its admission stripe (FNV-1a — cheap,
+// alloc-free, and stable so a tenant's state never moves).
+func (sh *shard) stripeFor(tenant string) *admitStripe {
+	if sh.smask == 0 {
+		return &sh.stripes[0]
+	}
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(tenant); i++ {
+		h ^= uint64(tenant[i])
+		h *= 1099511628211
+	}
+	return &sh.stripes[h&sh.smask]
+}
+
+// tenant returns the stripe's entry for the tenant, resolving the
+// metric handles on first sight. Caller holds the stripe lock.
+func (st *admitStripe) tenant(name string, so *serveObs) *tenantEntry {
+	te := st.tenants[name]
+	if te == nil {
+		te = &tenantEntry{
+			qd:       so.queueDepth.With(name),
+			admitted: so.admittedTenant.With(name),
+		}
+		st.tenants[name] = te
+	}
+	return te
+}
+
 // admit applies the shard's admission policy to j: reject while
 // draining, reject when the tenant's queue or the in-flight budget is
-// full, otherwise enqueue. Backpressure is immediate — nothing blocks.
+// full, otherwise enqueue on the tenant's stripe. Backpressure is
+// immediate — nothing blocks, and submitters of different tenants
+// contend only on their own stripe and two striped cluster counters.
 func (sh *shard) admit(j *job) *Rejection {
 	n := len(j.tasks)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	switch {
-	case sh.draining:
+	st := sh.stripeFor(j.tenant)
+	st.mu.Lock()
+	// The drain barrier (drain locks and releases every stripe after
+	// setting the flag) makes this check authoritative: after the
+	// barrier passes, no admit can be past it without seeing draining.
+	if sh.draining.Load() {
+		st.mu.Unlock()
 		return &Rejection{Status: 503, Reason: "draining",
 			Msg: "server is draining, not admitting new jobs"}
-	case sh.queued[j.tenant]+n > sh.cfg.queueDepth:
+	}
+	te := st.tenant(j.tenant, sh.so)
+	if te.queued+n > sh.cfg.queueDepth {
+		cur := te.queued
+		st.mu.Unlock()
 		return &Rejection{Status: 429, Reason: "tenant_queue_full",
-			Msg: fmt.Sprintf("tenant %q queue full (%d/%d tasks)", j.tenant, sh.queued[j.tenant], sh.cfg.queueDepth)}
-	case sh.inflight+n > sh.cfg.maxInFlight:
+			Msg: fmt.Sprintf("tenant %q queue full (%d/%d tasks)", j.tenant, cur, sh.cfg.queueDepth)}
+	}
+	// The in-flight budget spans tenants, so it cannot live under one
+	// stripe's lock; reserve optimistically and roll back on overflow.
+	if cur := sh.inflight.Add(int64(n)); cur > int64(sh.cfg.maxInFlight) {
+		sh.inflight.Add(int64(-n))
+		st.mu.Unlock()
 		return &Rejection{Status: 429, Reason: "inflight_budget",
-			Msg: fmt.Sprintf("in-flight budget full (%d/%d tasks)", sh.inflight, sh.cfg.maxInFlight)}
+			Msg: fmt.Sprintf("in-flight budget full (%d/%d tasks)", cur-int64(n), sh.cfg.maxInFlight)}
 	}
 	j.enqueued = sh.cfg.clock()
 	j.shard = sh.cfg.index
-	sh.pending = append(sh.pending, j)
-	sh.queued[j.tenant] += n
-	sh.queuedN += n
-	sh.inflight += n
-	sh.stats.Admitted++
+	j.retain() // admission reference, released by the batcher
+	// The sequence number is stamped under the stripe lock, together
+	// with the append: each stripe's queue is sequence-ordered, so the
+	// batcher's min-sequence merge reproduces global FIFO order.
+	j.seq = sh.seq.Add(1)
+	st.pending = append(st.pending, j)
+	te.queued += n
+	te.admitted.Inc()
+	te.qd.Add(float64(n))
+	queued := sh.queuedN.Add(int64(n))
+	st.mu.Unlock()
+
+	sh.admitted.Add(1)
 	sh.so.admitted.Inc()
-	sh.so.admittedTenant.With(j.tenant).Inc()
-	sh.ga.queue(j.tenant, n)
-	sh.ga.flight(n)
-	sh.ro.shardInflight(sh.cfg.index, sh.inflight)
-	if sh.queuedN >= sh.cfg.maxBatch {
+	sh.so.inflight.Add(float64(n))
+	sh.ro.shardInflight(sh.cfg.index, int(sh.inflight.Load()))
+	if queued >= int64(sh.cfg.maxBatch) {
 		sh.wakeBatcher()
 	}
 	return nil
@@ -245,6 +369,20 @@ func (sh *shard) wakeBatcher() {
 	case sh.wake <- struct{}{}:
 	default:
 	}
+}
+
+// backlogEmpty reports whether every stripe's queue is empty.
+func (sh *shard) backlogEmpty() bool {
+	for i := range sh.stripes {
+		st := &sh.stripes[i]
+		st.mu.Lock()
+		n := len(st.pending) - st.head
+		st.mu.Unlock()
+		if n > 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // batcher is the single goroutine that forms and executes iterations.
@@ -260,10 +398,7 @@ func (sh *shard) batcher() {
 		}
 		for sh.flushOnce() {
 		}
-		sh.mu.Lock()
-		done := sh.draining && len(sh.pending) == 0
-		sh.mu.Unlock()
-		if done {
+		if sh.draining.Load() && sh.backlogEmpty() {
 			close(sh.drained)
 			return
 		}
@@ -277,31 +412,66 @@ func (sh *shard) flushAll() {
 	}
 }
 
-// flushOnce forms one batch from the head of the queue and runs it.
-// It reports whether any job left the queue (batched or expired), so
-// the batcher can loop until the backlog is gone.
+// popMin pops the job with the lowest admission sequence across all
+// stripes without exceeding the batch budget. Caller holds every
+// stripe lock. Returns nil when the backlog is empty or the head job
+// would overflow a non-empty batch (head-of-line break, same as the
+// single-queue batcher).
+func (sh *shard) popMin(batched int, tasks int) *job {
+	var best *admitStripe
+	for i := range sh.stripes {
+		st := &sh.stripes[i]
+		if st.head < len(st.pending) &&
+			(best == nil || st.pending[st.head].seq < best.pending[best.head].seq) {
+			best = st
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	j := best.pending[best.head]
+	if batched > 0 && tasks+len(j.tasks) > sh.cfg.maxBatch {
+		return nil
+	}
+	best.pending[best.head] = nil
+	best.head++
+	if best.head == len(best.pending) {
+		// Queue drained: rewind so the backing array is reused from the
+		// start instead of growing forever.
+		best.pending = best.pending[:0]
+		best.head = 0
+	}
+	n := len(j.tasks)
+	te := best.tenants[j.tenant]
+	te.queued -= n
+	te.qd.Add(float64(-n))
+	sh.queuedN.Add(int64(-n))
+	return j
+}
+
+// flushOnce forms one batch from the merged head of the stripes and
+// runs it. It reports whether any job left the queue (batched or
+// expired), so the batcher can loop until the backlog is gone.
 func (sh *shard) flushOnce() bool {
 	now := sh.cfg.clock()
-	var batch []*job
-	var expired []*job
+	batch := sh.batchBuf[:0]
+	expired := sh.expiredBuf[:0]
 	tasks, expiredTasks := 0, 0
 
-	sh.mu.Lock()
-	for len(sh.pending) > 0 {
-		j := sh.pending[0]
-		n := len(j.tasks)
-		if len(batch) > 0 && tasks+n > sh.cfg.maxBatch {
+	for i := range sh.stripes {
+		sh.stripes[i].mu.Lock()
+	}
+	for {
+		j := sh.popMin(len(batch), tasks)
+		if j == nil {
 			break
 		}
-		sh.pending = sh.pending[1:]
-		sh.queued[j.tenant] -= n
-		sh.queuedN -= n
-		sh.ga.queue(j.tenant, -n)
+		n := len(j.tasks)
 		if j.expiredBy(now) {
 			// Deadline passed while queued: the job is dropped before
 			// any task starts.
-			sh.inflight -= n
-			sh.stats.Timeouts++
+			sh.inflight.Add(int64(-n))
+			sh.timeouts.Add(1)
 			expired = append(expired, j)
 			expiredTasks += n
 			continue
@@ -309,15 +479,19 @@ func (sh *shard) flushOnce() bool {
 		batch = append(batch, j)
 		tasks += n
 	}
-	sh.ga.flight(-expiredTasks)
-	sh.ro.shardInflight(sh.cfg.index, sh.inflight)
-	sh.mu.Unlock()
+	for i := range sh.stripes {
+		sh.stripes[i].mu.Unlock()
+	}
+	sh.so.inflight.Add(float64(-expiredTasks))
+	sh.ro.shardInflight(sh.cfg.index, int(sh.inflight.Load()))
 
 	for _, j := range expired {
 		sh.so.timeouts.Inc()
 		j.finish(outcome{status: 504, err: "deadline expired while queued"})
+		j.release()
 	}
 	if len(batch) == 0 {
+		sh.batchBuf, sh.expiredBuf = batch, expired
 		return len(expired) > 0
 	}
 
@@ -325,7 +499,15 @@ func (sh *shard) flushOnce() bool {
 	// classes are placed before the fine-grained filler (mirrors the
 	// descending-AvgWork order the CC table wants). Stable, so equal
 	// hints keep FIFO fairness.
-	sort.SliceStable(batch, func(i, k int) bool { return batch[i].req.WorkHintS > batch[k].req.WorkHintS })
+	slices.SortStableFunc(batch, func(a, b *job) int {
+		switch {
+		case a.req.WorkHintS > b.req.WorkHintS:
+			return -1
+		case a.req.WorkHintS < b.req.WorkHintS:
+			return 1
+		}
+		return 0
+	})
 
 	all := sh.arena.Get(tasks)
 	for _, j := range batch {
@@ -336,16 +518,14 @@ func (sh *shard) flushOnce() bool {
 	bs := sh.rt.RunBatch(all)
 	batchIdx := sh.rt.Stats().Batches - 1
 
-	sh.mu.Lock()
 	for _, j := range batch {
-		sh.inflight -= len(j.tasks)
+		sh.inflight.Add(int64(-len(j.tasks)))
 	}
-	sh.stats.Batches++
-	sh.stats.Tasks += uint64(bs.Tasks - bs.Cancelled)
-	sh.stats.Cancelled += uint64(bs.Cancelled)
-	sh.ga.flight(-tasks)
-	sh.ro.shardInflight(sh.cfg.index, sh.inflight)
-	sh.mu.Unlock()
+	sh.batches.Add(1)
+	sh.tasksRun.Add(uint64(bs.Tasks - bs.Cancelled))
+	sh.tasksCan.Add(uint64(bs.Cancelled))
+	sh.so.inflight.Add(float64(-tasks))
+	sh.ro.shardInflight(sh.cfg.index, int(sh.inflight.Load()))
 	sh.so.tasksRun.Add(float64(bs.Tasks - bs.Cancelled))
 	sh.so.tasksCancelled.Add(float64(bs.Cancelled))
 
@@ -353,35 +533,36 @@ func (sh *shard) flushOnce() bool {
 	// busy-state energy (rt.ClassStats); split every class's share
 	// among the batch's jobs of that class, pro rata by executed
 	// tasks. The barrier has passed, so j.ran is final.
-	classRan := map[string]int{}
+	clear(sh.classRan)
 	for _, j := range batch {
-		classRan[j.req.Func] += int(j.ran.Load())
+		sh.classRan[j.req.Func] += int(j.ran.Load())
 	}
 
 	done := sh.cfg.clock()
 	for _, j := range batch {
 		ran := int(j.ran.Load())
 		var attr float64
-		if cs, ok := bs.Classes[j.req.Func]; ok && classRan[j.req.Func] > 0 {
-			attr = cs.EnergyJ * float64(ran) / float64(classRan[j.req.Func])
+		if cs, ok := bs.Classes[j.req.Func]; ok && sh.classRan[j.req.Func] > 0 {
+			attr = cs.EnergyJ * float64(ran) / float64(sh.classRan[j.req.Func])
 		}
-		sh.so.tenantEnergy.With(j.tenant).Add(attr)
+		sp := sh.spanSetFor(j.req.Func, j.tenant)
+		sp.energy.Add(attr)
 
 		// Close the request span: queue, batch-wait and execute phases,
 		// then end to end. Jobs whose every task was withdrawn have no
 		// payload timestamps and record only queue + e2e.
 		queueWait := j.started.Sub(j.enqueued).Seconds()
-		sh.so.spanQueue.With(j.req.Func, j.tenant).Observe(queueWait)
+		sp.queue.Observe(queueWait)
 		if fs := j.firstStart.Load(); fs > 0 {
-			sh.so.spanBatch.With(j.req.Func, j.tenant).Observe(float64(fs-j.started.UnixNano()) / 1e9)
-			sh.so.spanExec.With(j.req.Func, j.tenant).Observe(float64(j.lastEnd.Load()-fs) / 1e9)
+			sp.batch.Observe(float64(fs-j.started.UnixNano()) / 1e9)
+			sp.exec.Observe(float64(j.lastEnd.Load()-fs) / 1e9)
 		}
 		e2e := done.Sub(j.enqueued).Seconds()
-		sh.so.spanE2E.With(j.req.Func, j.tenant).Observe(e2e)
+		sp.e2e.Observe(e2e)
 		sh.latE2E.Observe(e2e)
 		sh.latQueue.Observe(queueWait)
 
-		res := JobResult{
+		j.res = JobResult{
 			Job:         j.id,
 			Tenant:      j.tenant,
 			Func:        j.req.Func,
@@ -396,27 +577,43 @@ func (sh *shard) flushOnce() bool {
 			Policy:      sh.cfg.policy,
 		}
 		if sh.cfg.total > 1 {
-			idx := sh.cfg.index
-			res.Shard = &idx
+			j.res.Shard = &j.shard
 		}
 		if ran < len(j.tasks) {
 			// Some tasks were withdrawn mid-batch (deadline or client
 			// disconnect); report the job as timed out, with partials.
-			sh.mu.Lock()
-			sh.stats.Timeouts++
-			sh.mu.Unlock()
+			sh.timeouts.Add(1)
 			sh.so.timeouts.Inc()
-			j.finish(outcome{status: 504, err: "deadline expired mid-batch", res: &res})
+			j.finish(outcome{status: 504, err: "deadline expired mid-batch", res: &j.res})
+			j.release()
 			continue
 		}
-		sh.mu.Lock()
-		sh.stats.Completed++
-		sh.mu.Unlock()
+		sh.completed.Add(1)
 		sh.so.completed.Inc()
-		j.finish(outcome{status: 200, res: &res})
+		j.finish(outcome{status: 200, res: &j.res})
+		j.release()
 	}
 	sh.arena.Put(all)
+	sh.batchBuf, sh.expiredBuf = batch, expired
 	return true
+}
+
+// spanSetFor resolves (and caches) the labeled metric children for one
+// (class, tenant) pair. Batcher goroutine only.
+func (sh *shard) spanSetFor(class, tenant string) *spanSet {
+	k := spanKey{class, tenant}
+	sp := sh.spans[k]
+	if sp == nil {
+		sp = &spanSet{
+			queue:  sh.so.spanQueue.With(class, tenant),
+			batch:  sh.so.spanBatch.With(class, tenant),
+			exec:   sh.so.spanExec.With(class, tenant),
+			e2e:    sh.so.spanE2E.With(class, tenant),
+			energy: sh.so.tenantEnergy.With(tenant),
+		}
+		sh.spans[k] = sp
+	}
+	return sp
 }
 
 // drain stops admission on this shard, flushes every queued job into
@@ -424,9 +621,16 @@ func (sh *shard) flushOnce() bool {
 // to call more than once. The context bounds the wait — on expiry the
 // batcher keeps draining in the background.
 func (sh *shard) drain(ctx context.Context) error {
-	sh.mu.Lock()
-	sh.draining = true
-	sh.mu.Unlock()
+	sh.draining.Store(true)
+	// Barrier: any admit that read draining=false holds its stripe lock
+	// until its job is enqueued; taking and releasing every stripe lock
+	// guarantees all such admissions are visible before the final flush.
+	for i := range sh.stripes {
+		st := &sh.stripes[i]
+		st.mu.Lock()
+		//lint:ignore SA2001 empty section is the barrier
+		st.mu.Unlock()
+	}
 	sh.ro.shardDraining(sh.cfg.index, true)
 	if sh.cfg.manualFlush {
 		// No batcher goroutine: the backlog drains here, synchronously.
@@ -446,78 +650,41 @@ func (sh *shard) drain(ctx context.Context) error {
 // snapshot returns the shard's point-in-time counters.
 func (sh *shard) snapshot() ShardStats {
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	classes := make([]string, 0, len(sh.planClasses))
 	for c := range sh.planClasses {
 		classes = append(classes, c)
 	}
+	energyTotal, energyAttr, overhead := sh.energyTotalJ, sh.energyAttrJ, sh.energyOverheadJ
+	sh.mu.Unlock()
 	sort.Strings(classes)
 	return ShardStats{
 		Shard:       sh.cfg.index,
 		Workers:     sh.cfg.workers,
 		FastestGHz:  sh.cfg.mc.Freqs[0],
-		Draining:    sh.draining,
-		Queued:      sh.queuedN,
-		Inflight:    sh.inflight,
-		Admitted:    sh.stats.Admitted,
-		Completed:   sh.stats.Completed,
-		Timeouts:    sh.stats.Timeouts,
-		Batches:     sh.stats.Batches,
-		Tasks:       sh.stats.Tasks,
-		Cancelled:   sh.stats.Cancelled,
+		Draining:    sh.draining.Load(),
+		Queued:      int(sh.queuedN.Load()),
+		Inflight:    int(sh.inflight.Load()),
+		Admitted:    sh.admitted.Load(),
+		Completed:   sh.completed.Load(),
+		Timeouts:    sh.timeouts.Load(),
+		Batches:     sh.batches.Load(),
+		Tasks:       sh.tasksRun.Load(),
+		Cancelled:   sh.tasksCan.Load(),
 		PlanClasses: classes,
-		EnergyJ:     sh.energyTotalJ,
-		EnergyAttrJ: sh.energyAttrJ,
-		OverheadJ:   sh.energyOverheadJ,
+		EnergyJ:     energyTotal,
+		EnergyAttrJ: energyAttr,
+		OverheadJ:   overhead,
 	}
 }
 
 // addTo folds the shard's counters into the cluster Stats.
 func (sh *shard) addTo(st *Stats) {
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	st.Queued += sh.queuedN
-	st.Inflight += sh.inflight
-	st.Admitted += sh.stats.Admitted
-	st.Completed += sh.stats.Completed
-	st.Timeouts += sh.stats.Timeouts
-	st.Batches += sh.stats.Batches
-	st.Tasks += sh.stats.Tasks
-	st.Cancelled += sh.stats.Cancelled
-}
-
-// gaugeAgg maintains the cluster-total queue-depth and in-flight
-// gauges. Shards hold their own counts under their own locks; the
-// aggregate applies signed deltas so the exported values are cluster
-// totals — and, for a single shard, exactly the pre-router values.
-type gaugeAgg struct {
-	mu       sync.Mutex
-	queued   map[string]int
-	inflight int
-	qd       *obs.GaugeVec
-	inf      *obs.Gauge
-}
-
-func newGaugeAgg(so *serveObs) *gaugeAgg {
-	return &gaugeAgg{queued: map[string]int{}, qd: so.queueDepth, inf: so.inflight}
-}
-
-// queue applies a delta to the tenant's cluster queued-task count.
-func (g *gaugeAgg) queue(tenant string, d int) {
-	g.mu.Lock()
-	g.queued[tenant] += d
-	v := g.queued[tenant]
-	g.mu.Unlock()
-	g.qd.With(tenant).Set(float64(v))
-}
-
-// flight applies a delta to the cluster in-flight count (d may be 0:
-// the batch-formation path re-publishes the gauge after expiries, as
-// the pre-router server did).
-func (g *gaugeAgg) flight(d int) {
-	g.mu.Lock()
-	g.inflight += d
-	v := g.inflight
-	g.mu.Unlock()
-	g.inf.Set(float64(v))
+	st.Queued += int(sh.queuedN.Load())
+	st.Inflight += int(sh.inflight.Load())
+	st.Admitted += sh.admitted.Load()
+	st.Completed += sh.completed.Load()
+	st.Timeouts += sh.timeouts.Load()
+	st.Batches += sh.batches.Load()
+	st.Tasks += sh.tasksRun.Load()
+	st.Cancelled += sh.tasksCan.Load()
 }

@@ -394,3 +394,92 @@ func ReplayWall(ctx context.Context, h http.Handler, tr *Trace, speed float64) (
 	st.WallS = time.Since(start).Seconds()
 	return &st, nil
 }
+
+// ReplayWallBatch is ReplayWall with client-side coalescing: trace
+// order is kept, but every `batch` consecutive events go out as one
+// POST /v1/jobs:batch. A group fires when its last member comes due,
+// so no event ever fires early; per-event lateness is still judged
+// against each event's own scheduled time. Per-job outcomes come from
+// the batch response's status array, so WallStats counts jobs, not
+// requests. batch <= 1 degenerates to ReplayWall.
+func ReplayWallBatch(ctx context.Context, h http.Handler, tr *Trace, speed float64, batch int) (*WallStats, error) {
+	if batch <= 1 {
+		return ReplayWall(ctx, h, tr, speed)
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	if speed <= 0 {
+		speed = 1
+	}
+	var st WallStats
+	var wg sync.WaitGroup
+	start := time.Now()
+	for base := 0; base < len(tr.Events); base += batch {
+		end := base + batch
+		if end > len(tr.Events) {
+			end = len(tr.Events)
+		}
+		group := tr.Events[base:end]
+		due := start.Add(time.Duration(group[len(group)-1].OffsetS / speed * 1e9))
+		if d := time.Until(due); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				wg.Wait()
+				st.WallS = time.Since(start).Seconds()
+				return &st, ctx.Err()
+			}
+		}
+		now := time.Now()
+		breq := serve.BatchRequest{Jobs: make([]serve.JobRequest, len(group))}
+		for i := range group {
+			ev := &group[i]
+			if now.Sub(start.Add(time.Duration(ev.OffsetS/speed*1e9))) > 100*time.Millisecond {
+				atomic.AddInt64(&st.Late, 1)
+			}
+			req := serve.JobRequest{
+				Tenant:    ev.Tenant,
+				Func:      ev.Class,
+				SizeBytes: ev.SizeBytes,
+				Count:     ev.Count,
+				Seed:      ev.Seed,
+				WorkHintS: ev.WorkHintS,
+			}
+			if ev.DeadlineMS > 0 {
+				expiry := ev.OffsetS + float64(ev.DeadlineMS)/1e3
+				req.DeadlineAtMS = start.Add(time.Duration(expiry / speed * 1e9)).UnixMilli()
+			}
+			breq.Jobs[i] = req
+		}
+		atomic.AddInt64(&st.Submitted, int64(len(group)))
+		wg.Add(1)
+		go func(breq serve.BatchRequest) {
+			defer wg.Done()
+			body, _ := json.Marshal(breq)
+			r := httptest.NewRequest(http.MethodPost, "/v1/jobs:batch", bytes.NewReader(body))
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, r)
+			var bres serve.BatchResponse
+			if err := json.Unmarshal(w.Body.Bytes(), &bres); err != nil || len(bres.Jobs) != len(breq.Jobs) {
+				atomic.AddInt64(&st.Other, int64(len(breq.Jobs)))
+				return
+			}
+			for i := range bres.Jobs {
+				switch bres.Jobs[i].Status {
+				case 200:
+					atomic.AddInt64(&st.OK, 1)
+				case 429:
+					atomic.AddInt64(&st.Rejected, 1)
+				case 504:
+					atomic.AddInt64(&st.Dropped, 1)
+				default:
+					atomic.AddInt64(&st.Other, 1)
+				}
+			}
+		}(breq)
+	}
+	wg.Wait()
+	st.WallS = time.Since(start).Seconds()
+	return &st, nil
+}
